@@ -1,0 +1,85 @@
+// E3 — §2.2 / Algorithm 3.2: buffered evaluation of append^bff.
+//
+// Paper claim: the compiled append chain contains cons(X1,W1,W), which
+// is not finitely evaluable forward under the bff adornment; the chain
+// must be split, with the W-building cons delayed and X1 buffered per
+// level. Buffered evaluation is then finite and linear in the length
+// of the first list. We compare against plain SLD resolution (which
+// achieves the same order of growth by literal reordering at runtime)
+// and report the buffer sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "ast/parser.h"
+#include "common/strings.h"
+#include "core/planner.h"
+#include "term/list_utils.h"
+#include "workload/list_gen.h"
+
+namespace chainsplit {
+namespace {
+
+void RunAppend(benchmark::State& state, Technique technique) {
+  const int64_t n = state.range(0);
+  Database db;
+  Status status = ParseProgram(AppendProgramSource(), &db.program());
+  CS_CHECK(status.ok()) << status;
+  status = db.LoadProgramFacts();
+  CS_CHECK(status.ok()) << status;
+  TermId left = RandomIntList(db.pool(), n, 0, 999, 42);
+  TermId right = RandomIntList(db.pool(), n / 2, 0, 999, 43);
+  PredId append = db.program().preds().Find("append", 3).value();
+
+  double buffered = 0;
+  double nodes = 0;
+  for (auto _ : state) {
+    Query query;
+    query.goals.push_back(
+        Atom{append, {left, right, db.pool().MakeVariable("W")}});
+    PlannerOptions options;
+    options.force = technique;
+    auto result = EvaluateQuery(&db, query, options);
+    CS_CHECK(result.ok()) << result.status();
+    CS_CHECK(result->answers.size() == 1) << "append must be deterministic";
+    benchmark::DoNotOptimize(result->answers.data());
+    buffered = static_cast<double>(result->buffered_stats.buffered_values);
+    nodes = static_cast<double>(result->buffered_stats.nodes);
+  }
+  state.counters["buffered"] = buffered;
+  state.counters["states"] = nodes;
+  state.SetComplexityN(n);
+}
+
+void BufferedSplit(benchmark::State& state) {
+  RunAppend(state, Technique::kBuffered);
+}
+void TopDownSld(benchmark::State& state) {
+  RunAppend(state, Technique::kTopDown);
+}
+
+BENCHMARK(BufferedSplit)
+    ->Unit(benchmark::kMillisecond)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity(benchmark::oN);
+BENCHMARK(TopDownSld)
+    ->Unit(benchmark::kMillisecond)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace chainsplit
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E3 (Algorithm 3.2): append(xs, ys, W) with |xs|=N, |ys|=N/2.\n"
+      "Expected shape: both evaluators are finite and O(N); buffered "
+      "chain-split buffers exactly N values over N+1 call states. A "
+      "bottom-up evaluation without chain-split is impossible (the "
+      "engine rejects it as not finitely evaluable; see "
+      "seminaive_test).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// E8 — §1.1: merging unshared chains is "terribly inefficient".
+//
+// Paper claim: evaluating a multi-chain recursion by merging its chain
+// generating paths into one (and running a transitive-closure
+// algorithm on the merged relation) iterates on the cross-product of
+// the per-chain relations. We measure: two independent edge relations,
+// (a) per-chain TC on each (the chain-split-style evaluation), vs
+// (b) TC of the merged pair-graph edge relation
+//     {((a,c),(b,d)) | e1(a,b), e2(c,d)}.
+
+#include <benchmark/benchmark.h>
+
+#include "common/strings.h"
+#include "core/chain_eval.h"
+#include "rel/ops.h"
+#include "workload/graph_gen.h"
+
+namespace chainsplit {
+namespace {
+
+GraphOptions Opts(int nodes, uint64_t seed, std::string_view prefix) {
+  GraphOptions g;
+  g.num_nodes = nodes;
+  g.num_edges = nodes * 2;
+  g.acyclic = true;
+  g.seed = seed;
+  g.node_prefix = prefix;
+  return g;
+}
+
+void PerChainTc(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  Database db;
+  GenerateGraph(&db, "e1", Opts(nodes, 1, "a"));
+  GenerateGraph(&db, "e2", Opts(nodes, 2, "b"));
+  const Relation* e1 =
+      db.GetRelation(db.program().preds().Find("e1", 2).value());
+  const Relation* e2 =
+      db.GetRelation(db.program().preds().Find("e2", 2).value());
+  double tuples = 0;
+  for (auto _ : state) {
+    TcStats s1, s2;
+    auto tc1 = TransitiveClosure(*e1, 100000, &s1);
+    auto tc2 = TransitiveClosure(*e2, 100000, &s2);
+    CS_CHECK(tc1.ok() && tc2.ok());
+    tuples = static_cast<double>(s1.tuples + s2.tuples);
+    benchmark::DoNotOptimize(tc1->size());
+  }
+  state.counters["tc_tuples"] = tuples;
+}
+
+void MergedChainTc(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  Database db;
+  GenerateGraph(&db, "e1", Opts(nodes, 1, "a"));
+  GenerateGraph(&db, "e2", Opts(nodes, 2, "b"));
+  const Relation* e1 =
+      db.GetRelation(db.program().preds().Find("e1", 2).value());
+  const Relation* e2 =
+      db.GetRelation(db.program().preds().Find("e2", 2).value());
+  double tuples = 0;
+  double merged_edges = 0;
+  for (auto _ : state) {
+    // Merge: pair-graph edges = cross product of the two edge sets,
+    // with pair nodes encoded as interned pair terms.
+    Relation merged(2);
+    for (int64_t i = 0; i < e1->num_rows(); ++i) {
+      for (int64_t j = 0; j < e2->num_rows(); ++j) {
+        TermId from_args[] = {e1->row(i)[0], e2->row(j)[0]};
+        TermId to_args[] = {e1->row(i)[1], e2->row(j)[1]};
+        merged.Insert({db.pool().MakeCompound("pair", from_args),
+                       db.pool().MakeCompound("pair", to_args)});
+      }
+    }
+    merged_edges = static_cast<double>(merged.size());
+    TcStats stats;
+    auto tc = TransitiveClosure(merged, 100000, &stats);
+    CS_CHECK(tc.ok());
+    tuples = static_cast<double>(stats.tuples);
+    benchmark::DoNotOptimize(tc->size());
+  }
+  state.counters["tc_tuples"] = tuples;
+  state.counters["merged_edges"] = merged_edges;
+}
+
+BENCHMARK(PerChainTc)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgsProduct({{8, 16, 32, 64}});
+BENCHMARK(MergedChainTc)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgsProduct({{8, 16, 32, 64}})
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace chainsplit
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E8 (§1.1): per-chain TC vs merged cross-product-chain TC on two "
+      "unshared random DAGs of N nodes each.\nExpected shape: per-chain "
+      "work grows ~N^2 in the worst case; the merged chain's edge set "
+      "alone is |e1| x |e2| ~ 4N^2 and its closure tuples grow ~N^4 — "
+      "the 'terribly inefficient' plan the paper rules out.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

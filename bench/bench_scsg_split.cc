@@ -1,0 +1,101 @@
+// E1 — Example 1.2 / Algorithm 3.1: scsg query evaluation.
+//
+// Paper claim: chain-following magic sets on scsg iterates on a
+// cross-product-like pair relation (the bb magic set joins through the
+// weak same_country linkage every step), while chain-split magic sets
+// iterates on the X-descendant chain alone. With few countries (weak
+// linkage) chain-split wins by a growing factor.
+//
+// Reported counters: derived = tuples the fixpoint derived (the
+// machine-independent work measure); answers = scsg answers returned.
+
+#include <benchmark/benchmark.h>
+
+#include "ast/parser.h"
+#include "common/strings.h"
+#include "core/planner.h"
+#include "workload/family_gen.h"
+
+namespace chainsplit {
+namespace {
+
+struct ScsgCase {
+  FamilyData data;
+  std::unique_ptr<Database> db;
+  Query query;
+};
+
+ScsgCase BuildCase(int depth, int fanout, int countries) {
+  ScsgCase c;
+  c.db = std::make_unique<Database>();
+  FamilyOptions fam;
+  fam.num_families = 2;
+  fam.depth = depth;
+  fam.fanout = fanout;
+  fam.num_countries = countries;
+  c.data = GenerateFamily(c.db.get(), fam);
+  Status status = ParseProgram(ScsgProgramSource(), &c.db->program());
+  CS_CHECK(status.ok()) << status;
+  status = c.db->LoadProgramFacts();
+  CS_CHECK(status.ok()) << status;
+  PredId scsg = c.db->program().preds().Find("scsg", 2).value();
+  c.query.goals.push_back(
+      Atom{scsg, {c.data.query_person, c.db->pool().MakeVariable("Y")}});
+  return c;
+}
+
+void RunScsg(benchmark::State& state, Technique technique) {
+  const int depth = static_cast<int>(state.range(0));
+  const int countries = static_cast<int>(state.range(1));
+  double derived = 0;
+  double answers = 0;
+  double persons = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ScsgCase c = BuildCase(depth, /*fanout=*/3, countries);
+    state.ResumeTiming();
+    PlannerOptions options;
+    options.force = technique;
+    auto result = EvaluateQuery(c.db.get(), c.query, options);
+    CS_CHECK(result.ok()) << result.status();
+    benchmark::DoNotOptimize(result->answers.data());
+    derived = static_cast<double>(result->seminaive_stats.total_derived);
+    answers = static_cast<double>(result->answers.size());
+    persons = static_cast<double>(c.data.num_persons);
+  }
+  state.counters["derived"] = derived;
+  state.counters["answers"] = answers;
+  state.counters["persons"] = persons;
+}
+
+void ChainFollowingMagic(benchmark::State& state) {
+  RunScsg(state, Technique::kMagicSets);
+}
+void ChainSplitMagic(benchmark::State& state) {
+  RunScsg(state, Technique::kChainSplitMagic);
+}
+
+// depth x countries. countries=2 is the paper's "weak linkage" story;
+// the crossover sweep is E2.
+BENCHMARK(ChainFollowingMagic)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgsProduct({{4, 5, 6}, {2}})
+    ->Iterations(5);
+BENCHMARK(ChainSplitMagic)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgsProduct({{4, 5, 6}, {2}})
+    ->Iterations(5);
+
+}  // namespace
+}  // namespace chainsplit
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E1 (Example 1.2, Algorithm 3.1): scsg(c, Y) — chain-following vs "
+      "chain-split magic sets.\nExpected shape: with a weak same_country "
+      "linkage (2 countries), chain-split derives far fewer tuples and "
+      "runs faster; the gap widens with depth.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E7 — Example 1.1 substrate check: sg evaluated by magic sets vs
+// unrestricted bottom-up vs the buffered (memoized-counting) chain
+// evaluator.
+//
+// Claim: the query-directed methods (magic, buffered) restrict work to
+// the query constant's cone; full semi-naive derives the whole sg
+// relation. Magic and buffered agree on the answers.
+
+#include <benchmark/benchmark.h>
+
+#include "ast/parser.h"
+#include "common/strings.h"
+#include "core/planner.h"
+#include "engine/seminaive.h"
+#include "workload/family_gen.h"
+
+namespace chainsplit {
+namespace {
+
+FamilyOptions Fam(int families) {
+  FamilyOptions fam;
+  fam.num_families = families;
+  fam.depth = 5;
+  fam.fanout = 3;
+  fam.materialize_same_country = false;
+  return fam;
+}
+
+void QueryDirected(benchmark::State& state, Technique technique) {
+  const int families = static_cast<int>(state.range(0));
+  double derived = 0;
+  double answers = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    FamilyData data = GenerateFamily(&db, Fam(families));
+    Status status = ParseProgram(SgProgramSource(), &db.program());
+    CS_CHECK(status.ok()) << status;
+    status = db.LoadProgramFacts();
+    CS_CHECK(status.ok()) << status;
+    PredId sg = db.program().preds().Find("sg", 2).value();
+    Query query;
+    query.goals.push_back(
+        Atom{sg, {data.query_person, db.pool().MakeVariable("Y")}});
+    state.ResumeTiming();
+    PlannerOptions options;
+    options.force = technique;
+    auto result = EvaluateQuery(&db, query, options);
+    CS_CHECK(result.ok()) << result.status();
+    derived = static_cast<double>(result->seminaive_stats.total_derived);
+    answers = static_cast<double>(result->answers.size());
+  }
+  state.counters["derived"] = derived;
+  state.counters["answers"] = answers;
+}
+
+void MagicSets(benchmark::State& state) {
+  QueryDirected(state, Technique::kMagicSets);
+}
+void BufferedChain(benchmark::State& state) {
+  QueryDirected(state, Technique::kBuffered);
+}
+
+void FullSemiNaive(benchmark::State& state) {
+  const int families = static_cast<int>(state.range(0));
+  double derived = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    GenerateFamily(&db, Fam(families));
+    Status status = ParseProgram(SgProgramSource(), &db.program());
+    CS_CHECK(status.ok()) << status;
+    status = db.LoadProgramFacts();
+    CS_CHECK(status.ok()) << status;
+    state.ResumeTiming();
+    SemiNaiveStats stats;
+    Status eval = SemiNaiveEvaluate(&db, db.program().rules(), {}, &stats);
+    CS_CHECK(eval.ok()) << eval;
+    derived = static_cast<double>(stats.total_derived);
+  }
+  state.counters["derived"] = derived;
+}
+
+const std::vector<int64_t> kFamilies = {1, 2, 4, 8};
+
+BENCHMARK(MagicSets)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgsProduct({kFamilies})
+    ->Iterations(5);
+BENCHMARK(BufferedChain)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgsProduct({kFamilies})
+    ->Iterations(5);
+BENCHMARK(FullSemiNaive)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgsProduct({kFamilies})
+    ->Iterations(5);
+
+}  // namespace
+}  // namespace chainsplit
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E7 (Example 1.1): sg(c, Y) — magic sets / buffered chain vs full "
+      "bottom-up, sweeping the number of unrelated families.\nExpected "
+      "shape: the query-directed methods' derived-tuple counts stay flat "
+      "as unrelated families are added; full semi-naive grows with the "
+      "database.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

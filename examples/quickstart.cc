@@ -1,0 +1,50 @@
+// Quickstart: load a tiny deductive database, ask a recursive query,
+// and let the planner pick the evaluation technique.
+//
+//   $ ./quickstart
+//
+// The program is the paper's same-generation example (Example 1.1).
+
+#include <cstdio>
+
+#include "core/planner.h"
+
+int main() {
+  using namespace chainsplit;
+
+  Database db;
+  // A Database bundles the term universe, the rule base (IDB) and the
+  // fact base (EDB). RunProgram parses source, loads the facts and
+  // evaluates the first query.
+  auto result = RunProgram(&db, R"(
+    % EDB: a small family.
+    parent(ann, carol).   parent(bob, carol).
+    parent(carol, eve).   parent(dan, eve).
+    parent(greg, dan).
+    sibling(carol, dan).  sibling(dan, carol).
+
+    % IDB: X and Y are same-generation relatives.
+    sg(X, Y) :- sibling(X, Y).
+    sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+
+    ?- sg(ann, Y).
+  )");
+
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("technique: %s\n", TechniqueToString(result->technique));
+  std::printf("plan:\n%s\n", result->plan.c_str());
+  std::printf("answers (%zu):\n", result->answers.size());
+  for (const Tuple& row : result->answers) {
+    for (size_t i = 0; i < result->vars.size(); ++i) {
+      std::printf("  %s = %s", db.pool().ToString(result->vars[i]).c_str(),
+                  db.pool().ToString(row[i]).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

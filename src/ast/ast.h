@@ -1,0 +1,111 @@
+#ifndef CHAINSPLIT_AST_AST_H_
+#define CHAINSPLIT_AST_AST_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/symbols.h"
+#include "term/term.h"
+
+namespace chainsplit {
+
+/// A positive literal `p(t1, ..., tn)`. Builtins (comparisons,
+/// arithmetic, `cons`) are ordinary atoms over reserved predicate names
+/// (see engine/builtins.h); the AST does not distinguish them.
+struct Atom {
+  PredId pred = kNullPred;
+  std::vector<TermId> args;
+
+  friend bool operator==(const Atom&, const Atom&) = default;
+};
+
+/// A Horn clause `head :- body.` (a fact when `body` is empty).
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+
+  friend bool operator==(const Rule&, const Rule&) = default;
+};
+
+/// A query `?- g1, ..., gk.`
+struct Query {
+  std::vector<Atom> goals;
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+/// A logic program: IDB rules, EDB facts and queries over a shared
+/// TermPool / PredicateTable. The pool is owned by the caller (usually a
+/// Database) so terms can be shared with relations.
+class Program {
+ public:
+  explicit Program(TermPool* pool) : pool_(pool) {}
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  TermPool& pool() const { return *pool_; }
+  PredicateTable& preds() { return preds_; }
+  const PredicateTable& preds() const { return preds_; }
+
+  /// Interns `name/arity` in this program's predicate table.
+  PredId InternPred(std::string_view name, int arity) {
+    return preds_.Intern(name, arity);
+  }
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  void AddFact(Atom fact) { facts_.push_back(std::move(fact)); }
+  void AddQuery(Query query) { queries_.push_back(std::move(query)); }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& mutable_rules() { return rules_; }
+  const std::vector<Atom>& facts() const { return facts_; }
+  const std::vector<Query>& queries() const { return queries_; }
+
+  /// Declares a finiteness constraint (§2.2 of the paper) for an IDB
+  /// predicate: a call with (at least) the 'b' arguments of `adornment`
+  /// bound has finitely many answers. EDB relations satisfy every mode
+  /// trivially; builtins carry their modes intrinsically
+  /// (BuiltinModeEvaluable). A declared mode lets the chain-split
+  /// analysis place an IDB literal in the immediately evaluable portion
+  /// instead of delaying it.
+  void DeclareFiniteMode(PredId pred, std::string adornment) {
+    finite_modes_[pred].push_back(std::move(adornment));
+  }
+
+  /// True when some declared mode of `pred` is covered by `boundness`
+  /// (every 'b' of the mode is bound in `boundness`).
+  bool HasFiniteMode(PredId pred, const std::string& boundness) const;
+
+  /// Rules whose head predicate is `pred`.
+  std::vector<const Rule*> RulesFor(PredId pred) const;
+
+  /// True if some rule defines `pred` (it is an IDB predicate).
+  bool IsIdb(PredId pred) const;
+
+  /// Distinct variables of `rule` in first-occurrence order
+  /// (head first, then body).
+  std::vector<TermId> RuleVariables(const Rule& rule) const;
+
+ private:
+  TermPool* pool_;
+  PredicateTable preds_;
+  std::vector<Rule> rules_;
+  std::vector<Atom> facts_;
+  std::vector<Query> queries_;
+  std::unordered_map<PredId, std::vector<std::string>> finite_modes_;
+};
+
+/// Collects the distinct variables of `atom` in order into `*out`.
+void CollectAtomVariables(const TermPool& pool, const Atom& atom,
+                          std::vector<TermId>* out);
+
+/// True when every argument of `atom` is ground.
+bool IsGroundAtom(const TermPool& pool, const Atom& atom);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_AST_AST_H_

@@ -1,0 +1,28 @@
+#ifndef CHAINSPLIT_AST_BUILTIN_NAMES_H_
+#define CHAINSPLIT_AST_BUILTIN_NAMES_H_
+
+#include <string_view>
+
+namespace chainsplit {
+
+/// Reserved predicate names shared by the parser (which desugars
+/// operators into these atoms) and the evaluators (which give them
+/// builtin semantics; see engine/builtins.h).
+///
+/// Comparisons, arity 2.
+inline constexpr std::string_view kPredLt = "<";
+inline constexpr std::string_view kPredLe = "=<";
+inline constexpr std::string_view kPredGt = ">";
+inline constexpr std::string_view kPredGe = ">=";
+inline constexpr std::string_view kPredEq = "=";   // unification
+inline constexpr std::string_view kPredNe = "\\=";
+
+/// Functional predicates (§1.2): `V = f(X1..Xk)` is rectified to
+/// `f(X1..Xk, V)`. Arity 3 each.
+inline constexpr std::string_view kPredSum = "sum";      // sum(X,Y,Z): Z=X+Y
+inline constexpr std::string_view kPredTimes = "times";  // times(X,Y,Z): Z=X*Y
+inline constexpr std::string_view kPredCons = "cons";    // cons(H,T,L): L=[H|T]
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_AST_BUILTIN_NAMES_H_

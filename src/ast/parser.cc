@@ -1,0 +1,432 @@
+#include "ast/parser.h"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/builtin_names.h"
+#include "common/strings.h"
+
+namespace chainsplit {
+namespace {
+
+enum class TokenKind {
+  kAtomName,   // lowercase-initial identifier
+  kVariable,   // uppercase- or '_'-initial identifier
+  kInt,
+  kPunct,      // one of the operator/punctuation spellings
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int64_t int_value = 0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Splits source text into tokens. A '.' is a clause terminator; list
+/// cells are only built through the [..|..] sugar so '.' is never an
+/// identifier character here.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) {
+        out->push_back(Token{TokenKind::kEnd, "", 0, line_, column_});
+        return Status::Ok();
+      }
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        token.kind = TokenKind::kInt;
+        CS_RETURN_IF_ERROR(LexInt(&token));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        LexIdentifier(&token);
+      } else {
+        CS_RETURN_IF_ERROR(LexPunct(&token));
+      }
+      out->push_back(std::move(token));
+    }
+  }
+
+ private:
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status LexInt(Token* token) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      Advance();
+    }
+    token->text = std::string(text_.substr(start, pos_ - start));
+    token->int_value = 0;
+    for (char d : token->text) {
+      token->int_value = token->int_value * 10 + (d - '0');
+    }
+    return Status::Ok();
+  }
+
+  void LexIdentifier(Token* token) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      Advance();
+    }
+    token->text = std::string(text_.substr(start, pos_ - start));
+    char first = token->text[0];
+    token->kind = (std::isupper(static_cast<unsigned char>(first)) ||
+                   first == '_')
+                      ? TokenKind::kVariable
+                      : TokenKind::kAtomName;
+  }
+
+  Status LexPunct(Token* token) {
+    token->kind = TokenKind::kPunct;
+    // Longest-match over the two-character operators first.
+    static constexpr std::string_view kTwoChar[] = {":-", "?-", "=<", ">=",
+                                                    "\\="};
+    std::string_view rest = text_.substr(pos_);
+    for (std::string_view op : kTwoChar) {
+      if (StartsWith(rest, op)) {
+        token->text = std::string(op);
+        Advance();
+        Advance();
+        return Status::Ok();
+      }
+    }
+    static constexpr std::string_view kOneChar = "().,[]|<>=+-*";
+    char c = text_[pos_];
+    if (kOneChar.find(c) != std::string_view::npos) {
+      token->text = std::string(1, c);
+      Advance();
+      return Status::Ok();
+    }
+    return InvalidArgumentError(StrCat("unexpected character '", c, "' at ",
+                                       line_, ":", column_));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+/// Recursive-descent parser over the token stream. One instance per
+/// ParseProgram call; writes clauses into the target Program.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Program* program)
+      : tokens_(std::move(tokens)), program_(program) {}
+
+  Status ParseAll() {
+    while (!AtEnd()) {
+      CS_RETURN_IF_ERROR(ParseClause());
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<TermId> ParseOneTerm() {
+    CS_ASSIGN_OR_RETURN(TermId term, ParseTermExpr());
+    if (!AtEnd()) return ErrorHere("trailing input after term");
+    return term;
+  }
+
+  StatusOr<Atom> ParseOneAtom() {
+    CS_ASSIGN_OR_RETURN(Atom atom, ParseGoal());
+    if (!AtEnd()) return ErrorHere("trailing input after atom");
+    return atom;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead(size_t n) const {
+    size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  const Token& Take() { return tokens_[pos_++]; }
+
+  bool TryTakePunct(std::string_view text) {
+    if (Peek().kind == TokenKind::kPunct && Peek().text == text) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectPunct(std::string_view text) {
+    if (TryTakePunct(text)) return Status::Ok();
+    return ErrorHere(StrCat("expected '", text, "'"));
+  }
+
+  Status ErrorHere(std::string_view message) const {
+    const Token& t = Peek();
+    return InvalidArgumentError(StrCat(message, " at ", t.line, ":",
+                                       t.column, " (near '", t.text, "')"));
+  }
+
+  TermPool& pool() { return program_->pool(); }
+
+  Status ParseClause() {
+    if (TryTakePunct("?-")) {
+      Query query;
+      CS_RETURN_IF_ERROR(ParseGoalList(&query.goals));
+      CS_RETURN_IF_ERROR(ExpectPunct("."));
+      program_->AddQuery(std::move(query));
+      return Status::Ok();
+    }
+    CS_ASSIGN_OR_RETURN(Atom head, ParseGoal());
+    Rule rule;
+    rule.head = std::move(head);
+    if (TryTakePunct(":-")) {
+      CS_RETURN_IF_ERROR(ParseGoalList(&rule.body));
+    }
+    CS_RETURN_IF_ERROR(ExpectPunct("."));
+    if (rule.body.empty() && IsGroundAtom(pool(), rule.head)) {
+      program_->AddFact(std::move(rule.head));
+    } else {
+      program_->AddRule(std::move(rule));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseGoalList(std::vector<Atom>* goals) {
+    while (true) {
+      CS_ASSIGN_OR_RETURN(Atom goal, ParseGoal());
+      goals->push_back(std::move(goal));
+      if (!TryTakePunct(",")) return Status::Ok();
+    }
+  }
+
+  /// goal := name '(' args ')'            ordinary atom
+  ///       | name                         propositional atom
+  ///       | term CMP term                comparison
+  ///       | term 'is' expr               arithmetic desugaring
+  StatusOr<Atom> ParseGoal() {
+    // An atom goal starts with a lowercase name followed by '(' or a
+    // clause separator; anything else is the left operand of an
+    // operator goal.
+    if (Peek().kind == TokenKind::kAtomName && Peek().text != "is" &&
+        !IsOperatorNext(1)) {
+      Token name = Take();
+      Atom atom;
+      std::vector<TermId> args;
+      if (TryTakePunct("(")) {
+        while (true) {
+          CS_ASSIGN_OR_RETURN(TermId arg, ParseTermExpr());
+          args.push_back(arg);
+          if (TryTakePunct(")")) break;
+          CS_RETURN_IF_ERROR(ExpectPunct(","));
+        }
+      }
+      atom.pred =
+          program_->InternPred(name.text, static_cast<int>(args.size()));
+      atom.args = std::move(args);
+      return atom;
+    }
+    CS_ASSIGN_OR_RETURN(TermId lhs, ParseTermExpr());
+    return ParseOperatorGoal(lhs);
+  }
+
+  /// True when the token at lookahead `n` begins an operator goal, i.e.
+  /// the current atom name is really a term operand ("x < y" with x an
+  /// atom constant).
+  bool IsOperatorNext(size_t n) const {
+    const Token& t = PeekAhead(n);
+    if (t.kind == TokenKind::kAtomName) return t.text == "is";
+    if (t.kind != TokenKind::kPunct) return false;
+    static constexpr std::string_view kOps[] = {"<", ">", "=<", ">=", "=",
+                                                "\\="};
+    for (std::string_view op : kOps) {
+      if (t.text == op) return true;
+    }
+    return false;
+  }
+
+  StatusOr<Atom> ParseOperatorGoal(TermId lhs) {
+    if (Peek().kind == TokenKind::kAtomName && Peek().text == "is") {
+      Take();
+      return ParseIsGoal(lhs);
+    }
+    if (Peek().kind != TokenKind::kPunct) {
+      return ErrorHere("expected comparison operator");
+    }
+    std::string op = Peek().text;
+    std::string_view pred_name;
+    if (op == "<") {
+      pred_name = kPredLt;
+    } else if (op == "=<") {
+      pred_name = kPredLe;
+    } else if (op == ">") {
+      pred_name = kPredGt;
+    } else if (op == ">=") {
+      pred_name = kPredGe;
+    } else if (op == "=") {
+      pred_name = kPredEq;
+    } else if (op == "\\=") {
+      pred_name = kPredNe;
+    } else {
+      return ErrorHere(StrCat("unknown operator '", op, "'"));
+    }
+    Take();
+    CS_ASSIGN_OR_RETURN(TermId rhs, ParseTermExpr());
+    Atom atom;
+    atom.pred = program_->InternPred(pred_name, 2);
+    atom.args = {lhs, rhs};
+    return atom;
+  }
+
+  /// Desugars `Z is X + Y` -> sum(X,Y,Z); `Z is X - Y` -> sum(Y,Z,X);
+  /// `Z is X * Y` -> times(X,Y,Z); `Z is X` -> =(Z,X).
+  StatusOr<Atom> ParseIsGoal(TermId result) {
+    CS_ASSIGN_OR_RETURN(TermId x, ParseTermExpr());
+    Atom atom;
+    if (TryTakePunct("+")) {
+      CS_ASSIGN_OR_RETURN(TermId y, ParseTermExpr());
+      atom.pred = program_->InternPred(kPredSum, 3);
+      atom.args = {x, y, result};
+    } else if (TryTakePunct("-")) {
+      CS_ASSIGN_OR_RETURN(TermId y, ParseTermExpr());
+      atom.pred = program_->InternPred(kPredSum, 3);
+      atom.args = {y, result, x};  // result = x - y  <=>  x = y + result
+    } else if (TryTakePunct("*")) {
+      CS_ASSIGN_OR_RETURN(TermId y, ParseTermExpr());
+      atom.pred = program_->InternPred(kPredTimes, 3);
+      atom.args = {x, y, result};
+    } else {
+      atom.pred = program_->InternPred(kPredEq, 2);
+      atom.args = {result, x};
+    }
+    return atom;
+  }
+
+  /// term := int | '-' int | variable | name | name '(' terms ')' | list
+  StatusOr<TermId> ParseTermExpr() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        int64_t value = Take().int_value;
+        return pool().MakeInt(value);
+      }
+      case TokenKind::kVariable: {
+        std::string name = Take().text;
+        if (name == "_") return pool().FreshVariable("_");
+        return pool().MakeVariable(name);
+      }
+      case TokenKind::kAtomName: {
+        std::string name = Take().text;
+        if (TryTakePunct("(")) {
+          std::vector<TermId> args;
+          while (true) {
+            CS_ASSIGN_OR_RETURN(TermId arg, ParseTermExpr());
+            args.push_back(arg);
+            if (TryTakePunct(")")) break;
+            CS_RETURN_IF_ERROR(ExpectPunct(","));
+          }
+          return pool().MakeCompound(name, args);
+        }
+        return pool().MakeSymbol(name);
+      }
+      case TokenKind::kPunct:
+        if (t.text == "[") return ParseList();
+        if (t.text == "-" && PeekAhead(1).kind == TokenKind::kInt) {
+          Take();
+          int64_t value = Take().int_value;
+          return pool().MakeInt(-value);
+        }
+        break;
+      case TokenKind::kEnd:
+        break;
+    }
+    return ErrorHere("expected a term");
+  }
+
+  /// list := '[' ']' | '[' terms ']' | '[' terms '|' term ']'
+  StatusOr<TermId> ParseList() {
+    CS_RETURN_IF_ERROR(ExpectPunct("["));
+    if (TryTakePunct("]")) return pool().Nil();
+    std::vector<TermId> elements;
+    TermId tail = pool().Nil();
+    while (true) {
+      CS_ASSIGN_OR_RETURN(TermId element, ParseTermExpr());
+      elements.push_back(element);
+      if (TryTakePunct(",")) continue;
+      if (TryTakePunct("|")) {
+        CS_ASSIGN_OR_RETURN(tail, ParseTermExpr());
+        CS_RETURN_IF_ERROR(ExpectPunct("]"));
+        break;
+      }
+      CS_RETURN_IF_ERROR(ExpectPunct("]"));
+      break;
+    }
+    TermId list = tail;
+    for (size_t i = elements.size(); i > 0; --i) {
+      list = pool().MakeCons(elements[i - 1], list);
+    }
+    return list;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Program* program_;
+};
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  Lexer lexer(text);
+  CS_RETURN_IF_ERROR(lexer.Tokenize(&tokens));
+  return tokens;
+}
+
+}  // namespace
+
+Status ParseProgram(std::string_view text, Program* program) {
+  CS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), program);
+  return parser.ParseAll();
+}
+
+StatusOr<TermId> ParseTerm(std::string_view text, Program* program) {
+  CS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), program);
+  return parser.ParseOneTerm();
+}
+
+StatusOr<Atom> ParseAtom(std::string_view text, Program* program) {
+  CS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), program);
+  return parser.ParseOneAtom();
+}
+
+}  // namespace chainsplit

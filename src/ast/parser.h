@@ -1,0 +1,43 @@
+#ifndef CHAINSPLIT_AST_PARSER_H_
+#define CHAINSPLIT_AST_PARSER_H_
+
+#include <string_view>
+
+#include "ast/ast.h"
+#include "common/status.h"
+
+namespace chainsplit {
+
+/// Parses Datalog-with-functions source into `*program`.
+///
+/// Syntax (Prolog-flavoured, as in the paper):
+///
+///   parent(tom, bob).                         % fact
+///   sg(X, Y) :- sibling(X, Y).                % rule
+///   sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+///   insert(X, [Y|Ys], [Y|Zs]) :- X > Y, insert(X, Ys, Zs).
+///   travel(..) :- .., F is F1 + F2, ..        % arithmetic
+///   ?- sg(tom, Y).                            % query
+///
+/// Desugaring performed here:
+///   * `A < B`, `A =< B`, `A > B`, `A >= B`, `A = B`, `A \= B` become
+///     atoms over the reserved comparison predicates.
+///   * `Z is X + Y` becomes `sum(X, Y, Z)`; `Z is X - Y` becomes
+///     `sum(Y, Z, X)`; `Z is X * Y` becomes `times(X, Y, Z)` —
+///     the functional-predicate transformation of §1.2.
+///   * List sugar `[a, b | T]` builds '.'(a, '.'(b, T)) terms.
+///
+/// Ground atoms with empty bodies are recorded as EDB facts (except
+/// for rules over reserved builtin predicates, which are rejected);
+/// non-ground ones as rules. Errors carry line:column positions.
+Status ParseProgram(std::string_view text, Program* program);
+
+/// Parses a single term, e.g. "f(X, [1,2|T])". For tests and examples.
+StatusOr<TermId> ParseTerm(std::string_view text, Program* program);
+
+/// Parses a single atom, e.g. "sg(tom, Y)". For tests and examples.
+StatusOr<Atom> ParseAtom(std::string_view text, Program* program);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_AST_PARSER_H_

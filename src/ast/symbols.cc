@@ -1,0 +1,32 @@
+#include "ast/symbols.h"
+
+#include "common/strings.h"
+
+namespace chainsplit {
+
+std::string PredicateTable::Key(std::string_view name, int arity) {
+  return StrCat(name, "/", arity);
+}
+
+PredId PredicateTable::Intern(std::string_view name, int arity) {
+  std::string key = Key(name, arity);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  PredId id = static_cast<PredId>(entries_.size());
+  entries_.push_back(Entry{std::string(name), arity});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<PredId> PredicateTable::Find(std::string_view name,
+                                           int arity) const {
+  auto it = index_.find(Key(name, arity));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string PredicateTable::Display(PredId p) const {
+  return Key(entries_[p].name, entries_[p].arity);
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,54 @@
+#ifndef CHAINSPLIT_AST_SYMBOLS_H_
+#define CHAINSPLIT_AST_SYMBOLS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace chainsplit {
+
+/// Handle to a predicate (name/arity pair) interned in a PredicateTable.
+using PredId = int32_t;
+
+inline constexpr PredId kNullPred = -1;
+
+/// Interning table for predicate symbols. Predicates are identified by
+/// name *and* arity (`p/2` and `p/3` are distinct predicates).
+class PredicateTable {
+ public:
+  PredicateTable() = default;
+  PredicateTable(const PredicateTable&) = delete;
+  PredicateTable& operator=(const PredicateTable&) = delete;
+
+  /// Interns `name/arity`, returning its id.
+  PredId Intern(std::string_view name, int arity);
+
+  /// Looks up `name/arity`; nullopt if never interned.
+  std::optional<PredId> Find(std::string_view name, int arity) const;
+
+  const std::string& name(PredId p) const { return entries_[p].name; }
+  int arity(PredId p) const { return entries_[p].arity; }
+
+  /// "name/arity" display form.
+  std::string Display(PredId p) const;
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  struct Entry {
+    std::string name;
+    int arity;
+  };
+
+  static std::string Key(std::string_view name, int arity);
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, PredId> index_;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_AST_SYMBOLS_H_

@@ -1,0 +1,19 @@
+#ifndef CHAINSPLIT_CHAINSPLIT_H_
+#define CHAINSPLIT_CHAINSPLIT_H_
+
+/// Umbrella header for the ChainSplit-DDB library: pulls in the public
+/// API a typical application needs — the Database, the parser, and the
+/// query planner. Sub-headers remain available for fine-grained use
+/// (individual evaluators, chain analysis, workload generators).
+
+#include "ast/ast.h"
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "common/status.h"
+#include "core/planner.h"
+#include "rel/catalog.h"
+#include "rel/csv.h"
+#include "term/list_utils.h"
+#include "term/term.h"
+
+#endif  // CHAINSPLIT_CHAINSPLIT_H_

@@ -1,0 +1,40 @@
+#ifndef CHAINSPLIT_COMMON_LOGGING_H_
+#define CHAINSPLIT_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+
+/// CS_CHECK(cond) aborts with a source location when `cond` is false.
+/// Used for internal invariants only — user-visible failures go through
+/// Status. The streamed remainder lets call sites add context:
+///   CS_CHECK(i < n) << "index " << i << " out of range";
+#define CS_CHECK(cond)                                                \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::chainsplit::internal_logging::FatalMessage(__FILE__, __LINE__,  \
+                                                 #cond)               \
+        .stream()
+
+#define CS_DCHECK(cond) CS_CHECK(cond)
+
+namespace chainsplit {
+namespace internal_logging {
+
+/// Accumulates a fatal message and aborts the process when destroyed.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    std::cerr << "CHECK failed at " << file << ":" << line << ": "
+              << condition << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return std::cerr; }
+};
+
+}  // namespace internal_logging
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_COMMON_LOGGING_H_

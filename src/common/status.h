@@ -1,0 +1,143 @@
+#ifndef CHAINSPLIT_COMMON_STATUS_H_
+#define CHAINSPLIT_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace chainsplit {
+
+/// Error category for a failed operation. Kept deliberately small: the
+/// library reports *why* a query cannot be answered (bad syntax, not
+/// finitely evaluable, resource cap hit) rather than modelling every
+/// possible failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (parser errors, bad schemas)
+  kNotFound,          // missing predicate/relation/rule
+  kFailedPrecondition,  // operation not applicable in this state
+  kUnimplemented,     // recursion class outside the supported fragment
+  kNotFinitelyEvaluable,  // query requires evaluating an infinite relation
+  kResourceExhausted,     // iteration/tuple cap exceeded (runaway guard)
+  kInternal,          // invariant violation inside the library
+};
+
+/// Returns a short upper-camel name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without a payload. Modeled after
+/// absl::Status: cheap to copy in the OK case, carries a code + message
+/// otherwise. The library does not use exceptions (Google style); every
+/// fallible public entry point returns Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "Code: message" form for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status NotFinitelyEvaluableError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+
+/// A Status or a value of type T. Minimal analogue of absl::StatusOr.
+/// Accessing value() on a non-OK StatusOr aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Intentionally implicit, mirroring absl::StatusOr: allows
+  /// `return value;` and `return SomeError(...);` from the same function.
+  StatusOr(const T& value) : value_(value) {}            // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}      // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::cerr << "StatusOr constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::cerr << "StatusOr::value() on error: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace chainsplit
+
+/// Propagates a non-OK Status from `expr` out of the current function.
+#define CS_RETURN_IF_ERROR(expr)                       \
+  do {                                                 \
+    ::chainsplit::Status cs_status_ = (expr);          \
+    if (!cs_status_.ok()) return cs_status_;           \
+  } while (false)
+
+/// Evaluates `rexpr` (a StatusOr), propagating errors, else binds `lhs`.
+#define CS_ASSIGN_OR_RETURN(lhs, rexpr)                \
+  CS_ASSIGN_OR_RETURN_IMPL_(                           \
+      CS_STATUS_MACROS_CONCAT_(cs_statusor_, __LINE__), lhs, rexpr)
+
+#define CS_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                              \
+  if (!statusor.ok()) return statusor.status();         \
+  lhs = std::move(statusor).value()
+
+#define CS_STATUS_MACROS_CONCAT_(x, y) CS_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define CS_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // CHAINSPLIT_COMMON_STATUS_H_

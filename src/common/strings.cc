@@ -1,0 +1,34 @@
+#include "common/strings.h"
+
+namespace chainsplit {
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      return pieces;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,33 @@
+#ifndef CHAINSPLIT_COMMON_STRINGS_H_
+#define CHAINSPLIT_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chainsplit {
+
+/// Concatenates the string representations of all arguments, using
+/// operator<<. StrCat("x=", 3, "!") == "x=3!".
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  ((os << args), ...);
+  return os.str();
+}
+
+/// Joins `parts` with `sep`: StrJoin({"a","b"}, ",") == "a,b".
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `text` at every occurrence of `sep` (empty pieces kept).
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_COMMON_STRINGS_H_

@@ -1,0 +1,416 @@
+#include "core/buffered.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "term/unify.h"
+
+namespace chainsplit {
+
+ChainPath WholeBodyPath(const TermPool& pool, const CompiledChain& chain) {
+  ChainPath path;
+  const Rule& rule = chain.recursive_rule;
+  std::vector<TermId> head_vars;
+  for (TermId arg : rule.head.args) pool.CollectVariables(arg, &head_vars);
+  std::vector<TermId> rec_vars;
+  for (TermId arg : chain.recursive_call().args) {
+    pool.CollectVariables(arg, &rec_vars);
+  }
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (static_cast<int>(i) == chain.recursive_literal) continue;
+    path.literals.push_back(static_cast<int>(i));
+    std::vector<TermId> vars;
+    CollectAtomVariables(pool, rule.body[i], &vars);
+    for (TermId v : vars) {
+      if (std::find(head_vars.begin(), head_vars.end(), v) !=
+              head_vars.end() &&
+          std::find(path.head_vars.begin(), path.head_vars.end(), v) ==
+              path.head_vars.end()) {
+        path.head_vars.push_back(v);
+      }
+      if (std::find(rec_vars.begin(), rec_vars.end(), v) != rec_vars.end() &&
+          std::find(path.rec_vars.begin(), path.rec_vars.end(), v) ==
+              path.rec_vars.end()) {
+        path.rec_vars.push_back(v);
+      }
+    }
+  }
+  return path;
+}
+
+/// One Evaluate() call. Holds the forward node graph (call states +
+/// buffered edges) and runs the three phases.
+class BufferedChainEvaluator::Run {
+ public:
+  Run(Database* db, const CompiledChain& chain, const PathSplit& split,
+      const BufferedOptions& options, BufferedStats* stats)
+      : db_(db),
+        pool_(db->pool()),
+        chain_(chain),
+        split_(split),
+        options_(options),
+        stats_(stats),
+        solver_(db, options.subquery) {}
+
+  StatusOr<std::vector<Tuple>> Execute(const Atom& query) {
+    CS_RETURN_IF_ERROR(Setup(query));
+    CS_RETURN_IF_ERROR(ForwardPhase());
+    CS_RETURN_IF_ERROR(ExitPhase());
+    if (!Done()) CS_RETURN_IF_ERROR(BackwardPhase());
+    return CollectRootAnswers(query);
+  }
+
+ private:
+  struct Edge {
+    int parent;
+    Tuple buffered;
+  };
+  struct Node {
+    Tuple state;  // values of the bound head positions
+    std::vector<Edge> in_edges;
+    std::unordered_set<Tuple, TupleHash> answer_set;  // free-position rows
+  };
+
+  Status Setup(const Atom& query) {
+    const Rule& rule = chain_.recursive_rule;
+    if (query.pred != chain_.pred) {
+      return InvalidArgumentError("query predicate does not match chain");
+    }
+    for (size_t i = 0; i < query.args.size(); ++i) {
+      if (pool_.IsGround(query.args[i])) {
+        bound_pos_.push_back(static_cast<int>(i));
+      } else if (pool_.IsVariable(query.args[i])) {
+        free_pos_.push_back(static_cast<int>(i));
+      } else {
+        return InvalidArgumentError(
+            "query arguments must be ground or variables");
+      }
+    }
+    // The evaluable portion must produce the recursive call's bound
+    // arguments, otherwise the chain cannot be iterated forward — the
+    // split is not a valid chain-split for this adornment.
+    std::vector<TermId> forward_bound;
+    for (int i : bound_pos_) {
+      pool_.CollectVariables(rule.head.args[i], &forward_bound);
+    }
+    for (int lit : split_.evaluable) {
+      CollectAtomVariables(pool_, rule.body[lit], &forward_bound);
+    }
+    for (int i : bound_pos_) {
+      std::vector<TermId> vars;
+      pool_.CollectVariables(chain_.recursive_call().args[i], &vars);
+      for (TermId v : vars) {
+        if (std::find(forward_bound.begin(), forward_bound.end(), v) ==
+            forward_bound.end()) {
+          return NotFinitelyEvaluableError(StrCat(
+              "evaluable portion does not bind recursive argument ", i,
+              " of ", db_->program().preds().Display(chain_.pred)));
+        }
+      }
+    }
+    for (int i : bound_pos_) root_state_.push_back(query.args[i]);
+
+    // Effective buffer set: the split's buffered variables plus any
+    // variable the evaluable portion binds that also occurs in a
+    // *free* position of the recursive call. Without the latter, a
+    // followed (unsplit) chain that derives the recursive call's free
+    // arguments forward would lose the correlation between those
+    // values and the buffered answer variables when the backward phase
+    // re-binds the free positions from the child's answers.
+    buffered_vars_ = split_.buffered_vars;
+    std::vector<TermId> evaluable_vars;
+    for (int lit : split_.evaluable) {
+      CollectAtomVariables(pool_, rule.body[lit], &evaluable_vars);
+    }
+    for (int i : free_pos_) {
+      std::vector<TermId> vars;
+      pool_.CollectVariables(chain_.recursive_call().args[i], &vars);
+      for (TermId v : vars) {
+        bool from_forward =
+            std::find(evaluable_vars.begin(), evaluable_vars.end(), v) !=
+            evaluable_vars.end();
+        bool present =
+            std::find(buffered_vars_.begin(), buffered_vars_.end(), v) !=
+            buffered_vars_.end();
+        if (from_forward && !present) buffered_vars_.push_back(v);
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Unifies `args[i]` with `values[k]` for the positions in `pos`.
+  static bool BindPositions(TermPool& pool, const std::vector<TermId>& args,
+                            const std::vector<int>& pos, const Tuple& values,
+                            Substitution* subst) {
+    for (size_t k = 0; k < pos.size(); ++k) {
+      if (!Unify(pool, args[pos[k]], values[k], subst)) return false;
+    }
+    return true;
+  }
+
+  std::vector<Atom> SubstituteLiterals(const std::vector<int>& literals,
+                                       const Substitution& subst) {
+    std::vector<Atom> goals;
+    goals.reserve(literals.size());
+    for (int i : literals) {
+      Atom goal = chain_.recursive_rule.body[i];
+      for (TermId& arg : goal.args) arg = subst.Resolve(arg, pool_);
+      goals.push_back(std::move(goal));
+    }
+    return goals;
+  }
+
+  int InternNode(const Tuple& state, bool* is_new) {
+    auto it = node_index_.find(state);
+    if (it != node_index_.end()) {
+      *is_new = false;
+      return it->second;
+    }
+    int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{state, {}, {}});
+    node_index_.emplace(state, id);
+    *is_new = true;
+    ++stats_->nodes;
+    return id;
+  }
+
+  Status ForwardPhase() {
+    const Rule& rule = chain_.recursive_rule;
+    const Atom& rec = chain_.recursive_call();
+
+    bool is_new = false;
+    InternNode(root_state_, &is_new);
+    std::vector<int> frontier = {0};
+
+    while (!frontier.empty()) {
+      if (++stats_->levels > options_.max_levels) {
+        return ResourceExhaustedError(
+            StrCat("forward chain exceeded ", options_.max_levels,
+                   " levels"));
+      }
+      std::vector<int> next;
+      for (int node_id : frontier) {
+        Substitution subst0;
+        if (!BindPositions(pool_, rule.head.args, bound_pos_,
+                           nodes_[node_id].state, &subst0)) {
+          continue;  // head constants incompatible with this state
+        }
+        std::vector<Atom> goals = SubstituteLiterals(split_.evaluable, subst0);
+
+        // Terms whose solutions we read out of each sub-proof.
+        std::vector<TermId> rec_bound_terms;
+        for (int i : bound_pos_) {
+          rec_bound_terms.push_back(subst0.Resolve(rec.args[i], pool_));
+        }
+        std::vector<TermId> buffer_terms;
+        for (TermId v : buffered_vars_) {
+          buffer_terms.push_back(subst0.Resolve(v, pool_));
+        }
+
+        // Dedup forward derivations per node.
+        std::unordered_set<Tuple, TupleHash> seen;
+        Status inner = Status::Ok();
+        Status status = solver_.Solve(goals, [&](const Substitution& s) {
+          if (!inner.ok()) return;
+          Tuple combined;
+          combined.reserve(rec_bound_terms.size() + buffer_terms.size());
+          for (TermId t : rec_bound_terms) {
+            combined.push_back(s.Resolve(t, pool_));
+          }
+          for (TermId t : buffer_terms) combined.push_back(s.Resolve(t, pool_));
+          for (TermId t : combined) {
+            if (!pool_.IsGround(t)) {
+              inner = NotFinitelyEvaluableError(
+                  "forward step produced a non-ground value");
+              return;
+            }
+          }
+          if (!seen.insert(combined).second) return;
+          Tuple child_state(combined.begin(),
+                            combined.begin() + rec_bound_terms.size());
+          Tuple buffered(combined.begin() + rec_bound_terms.size(),
+                         combined.end());
+          bool child_is_new = false;
+          int child = InternNode(child_state, &child_is_new);
+          nodes_[child].in_edges.push_back(Edge{node_id, std::move(buffered)});
+          ++stats_->edges;
+          ++stats_->buffered_values;
+          if (child_is_new) next.push_back(child);
+        });
+        CS_RETURN_IF_ERROR(status);
+        CS_RETURN_IF_ERROR(inner);
+        if (static_cast<int64_t>(nodes_.size()) > options_.max_nodes) {
+          return ResourceExhaustedError(
+              StrCat("forward chain exceeded ", options_.max_nodes,
+                     " call states"));
+        }
+      }
+      frontier = std::move(next);
+    }
+    return Status::Ok();
+  }
+
+  /// True when existence checking is on and the query call already has
+  /// an answer.
+  bool Done() const {
+    return options_.stop_at_first_answer && !nodes_[0].answer_set.empty();
+  }
+
+  Status ExitPhase() {
+    for (size_t node_id = 0; node_id < nodes_.size() && !Done();
+         ++node_id) {
+      for (const Rule& exit : chain_.exit_rules) {
+        Substitution subst0;
+        if (!BindPositions(pool_, exit.head.args, bound_pos_,
+                           nodes_[node_id].state, &subst0)) {
+          continue;
+        }
+        std::vector<Atom> goals;
+        goals.reserve(exit.body.size());
+        for (const Atom& atom : exit.body) {
+          Atom goal = atom;
+          for (TermId& arg : goal.args) arg = subst0.Resolve(arg, pool_);
+          goals.push_back(std::move(goal));
+        }
+        std::vector<TermId> free_terms;
+        for (int i : free_pos_) {
+          free_terms.push_back(subst0.Resolve(exit.head.args[i], pool_));
+        }
+        Status inner = Status::Ok();
+        Status status = solver_.Solve(goals, [&](const Substitution& s) {
+          if (!inner.ok()) return;
+          Tuple row;
+          row.reserve(free_terms.size());
+          for (TermId t : free_terms) row.push_back(s.Resolve(t, pool_));
+          for (TermId t : row) {
+            if (!pool_.IsGround(t)) {
+              inner = NotFinitelyEvaluableError(
+                  "exit rule produced a non-ground answer");
+              return;
+            }
+          }
+          ++stats_->exit_solutions;
+          AddAnswer(static_cast<int>(node_id), std::move(row));
+        });
+        CS_RETURN_IF_ERROR(status);
+        CS_RETURN_IF_ERROR(inner);
+      }
+    }
+    return Status::Ok();
+  }
+
+  void AddAnswer(int node_id, Tuple row) {
+    if (nodes_[node_id].answer_set.insert(row).second) {
+      ++stats_->answers;
+      worklist_.push_back({node_id, std::move(row)});
+    }
+  }
+
+  Status BackwardPhase() {
+    const Rule& rule = chain_.recursive_rule;
+    const Atom& rec = chain_.recursive_call();
+    while (!worklist_.empty() && !Done()) {
+      if (stats_->answers > options_.max_answers) {
+        return ResourceExhaustedError(
+            StrCat("backward phase exceeded ", options_.max_answers,
+                   " answers (unbounded recursion? push a constraint)"));
+      }
+      auto [child_id, answer] = std::move(worklist_.front());
+      worklist_.pop_front();
+      // Copy: AddAnswer may reallocate nodes_' vectors' contents? No —
+      // nodes_ itself is stable here, but in_edges is only read.
+      const Node& child = nodes_[child_id];
+      for (const Edge& edge : child.in_edges) {
+        Substitution subst0;
+        if (!BindPositions(pool_, rule.head.args, bound_pos_,
+                           nodes_[edge.parent].state, &subst0)) {
+          continue;
+        }
+        bool ok = true;
+        for (size_t k = 0; k < buffered_vars_.size() && ok; ++k) {
+          ok = Unify(pool_, buffered_vars_[k], edge.buffered[k], &subst0);
+        }
+        if (ok) ok = BindPositions(pool_, rec.args, bound_pos_, child.state,
+                                   &subst0);
+        if (ok) ok = BindPositions(pool_, rec.args, free_pos_, answer,
+                                   &subst0);
+        if (!ok) continue;
+
+        std::vector<Atom> goals = SubstituteLiterals(split_.delayed, subst0);
+        std::vector<TermId> free_terms;
+        for (int i : free_pos_) {
+          free_terms.push_back(subst0.Resolve(rule.head.args[i], pool_));
+        }
+        ++stats_->delayed_solves;
+        Status inner = Status::Ok();
+        Status status = solver_.Solve(goals, [&](const Substitution& s) {
+          if (!inner.ok()) return;
+          Tuple row;
+          row.reserve(free_terms.size());
+          for (TermId t : free_terms) row.push_back(s.Resolve(t, pool_));
+          for (TermId t : row) {
+            if (!pool_.IsGround(t)) {
+              inner = NotFinitelyEvaluableError(
+                  "delayed portion produced a non-ground answer");
+              return;
+            }
+          }
+          AddAnswer(edge.parent, std::move(row));
+        });
+        CS_RETURN_IF_ERROR(status);
+        CS_RETURN_IF_ERROR(inner);
+      }
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<std::vector<Tuple>> CollectRootAnswers(const Atom& query) {
+    std::vector<Tuple> result;
+    const Node& root = nodes_[0];
+    for (const Tuple& row : root.answer_set) {
+      Tuple full(query.args.size(), kNullTerm);
+      for (size_t k = 0; k < bound_pos_.size(); ++k) {
+        full[bound_pos_[k]] = root.state[k];
+      }
+      for (size_t k = 0; k < free_pos_.size(); ++k) {
+        full[free_pos_[k]] = row[k];
+      }
+      result.push_back(std::move(full));
+    }
+    return result;
+  }
+
+ private:
+  Database* db_;
+  TermPool& pool_;
+  const CompiledChain& chain_;
+  const PathSplit& split_;
+  const BufferedOptions& options_;
+  BufferedStats* stats_;
+  TopDownEvaluator solver_;
+
+  std::vector<int> bound_pos_;
+  std::vector<int> free_pos_;
+  std::vector<TermId> buffered_vars_;  // split buffer + forward-bound
+                                       // free-position variables
+  Tuple root_state_;
+  std::vector<Node> nodes_;
+  std::unordered_map<Tuple, int, TupleHash> node_index_;
+  std::deque<std::pair<int, Tuple>> worklist_;
+};
+
+BufferedChainEvaluator::BufferedChainEvaluator(Database* db,
+                                               CompiledChain chain,
+                                               BufferedOptions options)
+    : db_(db), chain_(std::move(chain)), options_(options) {}
+
+StatusOr<std::vector<Tuple>> BufferedChainEvaluator::Evaluate(
+    const Atom& query, const PathSplit& split) {
+  stats_ = BufferedStats{};
+  Run run(db_, chain_, split, options_, &stats_);
+  return run.Execute(query);
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,95 @@
+#ifndef CHAINSPLIT_CORE_BUFFERED_H_
+#define CHAINSPLIT_CORE_BUFFERED_H_
+
+#include <vector>
+
+#include "core/chain_compile.h"
+#include "core/finiteness.h"
+#include "engine/topdown.h"
+#include "rel/catalog.h"
+
+namespace chainsplit {
+
+/// Options for the buffered chain-split evaluator.
+struct BufferedOptions {
+  /// Forward-phase caps (the chain may be infinite when the analysis is
+  /// bypassed; these turn runaways into kResourceExhausted).
+  int64_t max_levels = 1000000;
+  int64_t max_nodes = 5000000;
+  /// Backward-phase cap: with cyclic data a recursion can have
+  /// infinitely many answers (e.g. `travel` over a cyclic flight
+  /// network without a fare bound); the cap turns that into
+  /// kResourceExhausted. Constraint pushing (partial.h) is the paper's
+  /// way to make such queries finite.
+  int64_t max_answers = 10000000;
+  /// Caps for the conjunctive sub-queries (portion/exit solving).
+  TopDownOptions subquery;
+
+  /// Existence checking (§5): stop as soon as the *query's* call state
+  /// has one answer. The planner enables this for fully-bound
+  /// (boolean) queries, where any proof suffices.
+  bool stop_at_first_answer = false;
+};
+
+/// Work measures of one buffered evaluation, reported by benchmarks.
+struct BufferedStats {
+  int64_t levels = 0;          // forward BFS depth reached
+  int64_t nodes = 0;           // distinct call states (memoized)
+  int64_t edges = 0;           // forward derivation steps
+  int64_t buffered_values = 0; // buffered tuples stored (== edges)
+  int64_t exit_solutions = 0;
+  int64_t delayed_solves = 0;  // delayed-portion applications
+  int64_t answers = 0;         // total answers over all call states
+};
+
+/// The whole-body pseudo chain path: all non-recursive literals of the
+/// recursive rule as one path. The buffered evaluator splits the whole
+/// body at once; per-path splits are a view for diagnostics.
+ChainPath WholeBodyPath(const TermPool& pool, const CompiledChain& chain);
+
+/// Buffered chain-split evaluation (Algorithm 3.2), generalized with
+/// call-state memoization (the cyclic-counting extension of Remark 3.1).
+///
+/// Forward phase: starting from the query's bound arguments, the
+/// *evaluable* portion of the split is iterated level by level. Each
+/// derivation step buffers the values of `split.buffered_vars` on the
+/// edge between the two call states it connects; states are
+/// deduplicated, so cyclic EDB data terminates.
+///
+/// Exit phase: every call state is matched against the exit rules,
+/// seeding its answer set.
+///
+/// Backward phase: answers propagate against the forward edges; each
+/// propagation re-applies the *delayed* portion using the buffered
+/// values of the edge — this replays exactly the reuse step of
+/// Algorithm 3.2. Propagation runs to fixpoint, so shared and cyclic
+/// states are handled once.
+///
+/// Returns the full-arity answer tuples of the query call. Sub-goals in
+/// the portions may call other IDB predicates (nested linear
+/// recursions, §4.1): they are solved by the SLD engine.
+class BufferedChainEvaluator {
+ public:
+  BufferedChainEvaluator(Database* db, CompiledChain chain,
+                         BufferedOptions options = BufferedOptions());
+
+  /// Evaluates `query` (an atom over the chain's predicate; its ground
+  /// arguments define the adornment) under `split` (a split of
+  /// WholeBodyPath, typically from DecideSplit).
+  StatusOr<std::vector<Tuple>> Evaluate(const Atom& query,
+                                        const PathSplit& split);
+
+  const BufferedStats& stats() const { return stats_; }
+
+ private:
+  class Run;
+
+  Database* db_;
+  CompiledChain chain_;
+  BufferedOptions options_;
+  BufferedStats stats_;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_CORE_BUFFERED_H_

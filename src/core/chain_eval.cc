@@ -1,0 +1,78 @@
+#include "core/chain_eval.h"
+
+#include "common/strings.h"
+
+namespace chainsplit {
+namespace {
+
+/// Semi-naive closure kernel: repeatedly extends `delta` by one `edge`
+/// step, accumulating into `*result` (arity 2: (origin, reached)).
+Status Closure(const Relation& edge, Relation* result, Relation&& delta0,
+               int64_t max_iterations, TcStats* stats) {
+  const std::vector<int> from_col = {0};
+  Relation delta = std::move(delta0);
+  while (!delta.empty()) {
+    if (++stats->iterations > max_iterations) {
+      return ResourceExhaustedError(
+          StrCat("transitive closure exceeded ", max_iterations,
+                 " iterations"));
+    }
+    Relation next(2);
+    Tuple key(1);
+    Tuple out(2);
+    for (int64_t i = 0; i < delta.num_rows(); ++i) {
+      const Tuple& t = delta.row(i);
+      key[0] = t[1];
+      for (int64_t j : edge.Probe(from_col, key)) {
+        out[0] = t[0];
+        out[1] = edge.row(j)[1];
+        if (!result->Contains(out)) next.Insert(out);
+      }
+    }
+    stats->delta_tuples += next.size();
+    for (int64_t i = 0; i < next.num_rows(); ++i) result->Insert(next.row(i));
+    delta = std::move(next);
+  }
+  stats->tuples = result->size();
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Relation> TransitiveClosureFrom(const Relation& edge,
+                                         const std::vector<TermId>& seeds,
+                                         int64_t max_iterations,
+                                         TcStats* stats) {
+  *stats = TcStats{};
+  Relation result(2);
+  Relation delta(2);
+  const std::vector<int> from_col = {0};
+  Tuple key(1);
+  for (TermId seed : seeds) {
+    key[0] = seed;
+    for (int64_t j : edge.Probe(from_col, key)) {
+      Tuple out = {seed, edge.row(j)[1]};
+      if (result.Insert(out)) delta.Insert(out);
+    }
+  }
+  stats->delta_tuples += delta.size();
+  CS_RETURN_IF_ERROR(
+      Closure(edge, &result, std::move(delta), max_iterations, stats));
+  return result;
+}
+
+StatusOr<Relation> TransitiveClosure(const Relation& edge,
+                                     int64_t max_iterations, TcStats* stats) {
+  *stats = TcStats{};
+  Relation result(2);
+  Relation delta(2);
+  for (int64_t i = 0; i < edge.num_rows(); ++i) {
+    if (result.Insert(edge.row(i))) delta.Insert(edge.row(i));
+  }
+  stats->delta_tuples += delta.size();
+  CS_RETURN_IF_ERROR(
+      Closure(edge, &result, std::move(delta), max_iterations, stats));
+  return result;
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,36 @@
+#ifndef CHAINSPLIT_CORE_CHAIN_EVAL_H_
+#define CHAINSPLIT_CORE_CHAIN_EVAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "rel/relation.h"
+
+namespace chainsplit {
+
+/// Work measures of a transitive-closure run.
+struct TcStats {
+  int64_t iterations = 0;
+  int64_t tuples = 0;        // result size
+  int64_t delta_tuples = 0;  // total delta work
+};
+
+/// Chain-following evaluation of a single binary chain [10]: semi-naive
+/// transitive closure of `edge` restricted to the nodes reachable from
+/// `seeds`. Returns the set of (seed, reachable) pairs, seeds included
+/// via their outgoing edges only (no reflexive tuples). `edge` columns
+/// are (from, to).
+StatusOr<Relation> TransitiveClosureFrom(const Relation& edge,
+                                         const std::vector<TermId>& seeds,
+                                         int64_t max_iterations,
+                                         TcStats* stats);
+
+/// Full semi-naive transitive closure of `edge`. Used by the
+/// merged-chain experiment (E8) as the per-chain evaluation whose cost
+/// is compared against iterating the merged cross-product chain.
+StatusOr<Relation> TransitiveClosure(const Relation& edge,
+                                     int64_t max_iterations, TcStats* stats);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_CORE_CHAIN_EVAL_H_

@@ -1,0 +1,153 @@
+#include "core/classify.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "engine/builtins.h"
+
+namespace chainsplit {
+
+const char* RecursionClassToString(RecursionClass c) {
+  switch (c) {
+    case RecursionClass::kNonRecursive: return "non-recursive";
+    case RecursionClass::kLinear: return "linear";
+    case RecursionClass::kNestedLinear: return "nested-linear";
+    case RecursionClass::kNonLinear: return "nonlinear";
+    case RecursionClass::kMutual: return "mutual";
+  }
+  return "unknown";
+}
+
+ProgramAnalysis ProgramAnalysis::Analyze(const Program& program,
+                                         const std::vector<Rule>& rules) {
+  ProgramAnalysis analysis;
+  const PredicateTable& preds = program.preds();
+
+  // Call graph over IDB predicates.
+  std::set<PredId> idb;
+  for (const Rule& rule : rules) idb.insert(rule.head.pred);
+  std::unordered_map<PredId, std::set<PredId>> calls;
+  std::unordered_map<PredId, bool> uses_builtin;
+  for (const Rule& rule : rules) {
+    for (const Atom& atom : rule.body) {
+      if (idb.count(atom.pred) > 0) calls[rule.head.pred].insert(atom.pred);
+      if (IsBuiltinPred(preds, atom.pred)) {
+        uses_builtin[rule.head.pred] = true;
+      }
+    }
+  }
+
+  // Tarjan SCC (iterative-enough: recursion depth = #preds, small).
+  std::unordered_map<PredId, int> index, lowlink, scc_of;
+  std::vector<PredId> stack;
+  std::unordered_map<PredId, bool> on_stack;
+  int next_index = 0;
+  int next_scc = 0;
+  std::vector<std::vector<PredId>> sccs;
+
+  std::function<void(PredId)> strongconnect = [&](PredId v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (PredId w : calls[v]) {
+      if (index.find(w) == index.end()) {
+        strongconnect(w);
+        lowlink[v] = std::min(lowlink[v], lowlink[w]);
+      } else if (on_stack[w]) {
+        lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<PredId> component;
+      while (true) {
+        PredId w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        scc_of[w] = next_scc;
+        component.push_back(w);
+        if (w == v) break;
+      }
+      sccs.push_back(std::move(component));
+      ++next_scc;
+    }
+  };
+  for (PredId p : idb) {
+    if (index.find(p) == index.end()) strongconnect(p);
+  }
+  // Tarjan emits SCCs in reverse topological order of the call graph,
+  // i.e. callees before callers — exactly bottom-up evaluation order.
+  for (const auto& component : sccs) {
+    for (PredId p : component) analysis.evaluation_order_.push_back(p);
+  }
+
+  // Functional closure: a predicate is functional when it or any
+  // (transitive) callee uses a builtin with an infinite domain.
+  std::unordered_map<PredId, bool> functional;
+  for (PredId p : analysis.evaluation_order_) {
+    bool f = uses_builtin[p];
+    for (PredId w : calls[p]) f = f || functional[w];
+    functional[p] = f;
+  }
+
+  for (PredId p : idb) {
+    PredicateClassification info;
+    info.pred = p;
+    info.scc = scc_of[p];
+    info.functional = functional[p];
+
+    bool in_cycle = false;
+    for (PredId q : idb) {
+      if (q != p && scc_of[q] == scc_of[p]) in_cycle = true;
+    }
+    bool self_recursive = false;
+    int max_recursive_literals = 0;
+    bool calls_other_recursion = false;
+    for (const Rule& rule : rules) {
+      if (rule.head.pred != p) continue;
+      int recursive_literals = 0;
+      for (const Atom& atom : rule.body) {
+        if (idb.count(atom.pred) == 0) continue;
+        if (scc_of[atom.pred] == scc_of[p]) {
+          ++recursive_literals;
+        } else {
+          // A callee in a *different* SCC: nested if that callee is
+          // itself recursive.
+          for (const Rule& callee_rule : rules) {
+            if (callee_rule.head.pred != atom.pred) continue;
+            for (const Atom& b : callee_rule.body) {
+              if (idb.count(b.pred) > 0 &&
+                  scc_of[b.pred] == scc_of[atom.pred]) {
+                calls_other_recursion = true;
+              }
+            }
+          }
+        }
+      }
+      self_recursive = self_recursive || recursive_literals > 0;
+      max_recursive_literals =
+          std::max(max_recursive_literals, recursive_literals);
+    }
+
+    if (in_cycle) {
+      info.recursion = RecursionClass::kMutual;
+    } else if (!self_recursive) {
+      info.recursion = RecursionClass::kNonRecursive;
+    } else if (max_recursive_literals >= 2) {
+      info.recursion = RecursionClass::kNonLinear;
+    } else if (calls_other_recursion) {
+      info.recursion = RecursionClass::kNestedLinear;
+    } else {
+      info.recursion = RecursionClass::kLinear;
+    }
+    analysis.info_.emplace(p, info);
+  }
+  return analysis;
+}
+
+const PredicateClassification& ProgramAnalysis::Get(PredId pred) const {
+  auto it = info_.find(pred);
+  return it == info_.end() ? default_info_ : it->second;
+}
+
+}  // namespace chainsplit

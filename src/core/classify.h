@@ -1,0 +1,62 @@
+#ifndef CHAINSPLIT_CORE_CLASSIFY_H_
+#define CHAINSPLIT_CORE_CLASSIFY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+
+namespace chainsplit {
+
+/// Recursion classes distinguished by the paper (§1, §4).
+enum class RecursionClass {
+  kNonRecursive,
+  kLinear,        // single self-recursive literal per recursive rule
+  kNestedLinear,  // linear, with a body call into another recursion (§4.1)
+  kNonLinear,     // >= 2 recursive literals in some rule (§4.2, qsort)
+  kMutual,        // recursion through a multi-predicate SCC
+};
+
+const char* RecursionClassToString(RecursionClass c);
+
+/// Per-IDB-predicate classification results.
+struct PredicateClassification {
+  PredId pred = kNullPred;
+  RecursionClass recursion = RecursionClass::kNonRecursive;
+  bool functional = false;  // its rules (transitively) use functional
+                            // predicates / builtins with infinite domains
+  int scc = -1;             // SCC id (topological order: callees first)
+};
+
+/// Dependency analysis of a program's IDB: SCCs of the predicate call
+/// graph, recursion classes, and functionality (presence of function
+/// symbols after rectification).
+class ProgramAnalysis {
+ public:
+  /// Analyzes `rules` (typically the rectified rules) over `program`'s
+  /// predicate table.
+  static ProgramAnalysis Analyze(const Program& program,
+                                 const std::vector<Rule>& rules);
+
+  /// Classification for `pred`; kNonRecursive default for unknown preds.
+  const PredicateClassification& Get(PredId pred) const;
+
+  /// True if `pred` is the head of some analyzed rule.
+  bool IsIdb(PredId pred) const { return info_.count(pred) > 0; }
+
+  /// IDB predicates in bottom-up (callee-first) evaluation order.
+  const std::vector<PredId>& evaluation_order() const {
+    return evaluation_order_;
+  }
+
+ private:
+  std::unordered_map<PredId, PredicateClassification> info_;
+  std::vector<PredId> evaluation_order_;
+  PredicateClassification default_info_;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_CORE_CLASSIFY_H_

@@ -1,0 +1,251 @@
+#include "core/counting.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "term/unify.h"
+
+namespace chainsplit {
+namespace {
+
+/// A forward derivation at some level: the call state, the buffered
+/// values of the step that produced it, and the producing entry at the
+/// previous level (-1 for the root).
+struct Entry {
+  Tuple state;
+  Tuple buffered;
+  int parent = -1;
+  std::unordered_set<Tuple, TupleHash> answers;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Tuple>> CountingEvaluate(Database* db,
+                                              const CompiledChain& chain,
+                                              const PathSplit& split,
+                                              const Atom& query,
+                                              const CountingOptions& options,
+                                              CountingStats* stats) {
+  *stats = CountingStats{};
+  TermPool& pool = db->pool();
+  const Rule& rule = chain.recursive_rule;
+  const Atom& rec = chain.recursive_call();
+  TopDownEvaluator solver(db, options.subquery);
+
+  std::vector<int> bound_pos, free_pos;
+  for (size_t i = 0; i < query.args.size(); ++i) {
+    if (pool.IsGround(query.args[i])) {
+      bound_pos.push_back(static_cast<int>(i));
+    } else {
+      free_pos.push_back(static_cast<int>(i));
+    }
+  }
+
+  // Effective buffer set; see BufferedChainEvaluator::Run::Setup — a
+  // followed chain that binds the recursive call's free arguments
+  // forward must buffer them to keep them correlated with the other
+  // buffered values during the down phase.
+  std::vector<TermId> buffered_vars = split.buffered_vars;
+  {
+    std::vector<TermId> evaluable_vars;
+    for (int lit : split.evaluable) {
+      CollectAtomVariables(pool, rule.body[lit], &evaluable_vars);
+    }
+    for (int i : free_pos) {
+      std::vector<TermId> vars;
+      pool.CollectVariables(rec.args[i], &vars);
+      for (TermId v : vars) {
+        bool from_forward =
+            std::find(evaluable_vars.begin(), evaluable_vars.end(), v) !=
+            evaluable_vars.end();
+        bool present = std::find(buffered_vars.begin(), buffered_vars.end(),
+                                 v) != buffered_vars.end();
+        if (from_forward && !present) buffered_vars.push_back(v);
+      }
+    }
+  }
+
+  auto bind_positions = [&](const std::vector<TermId>& args,
+                            const std::vector<int>& pos, const Tuple& values,
+                            Substitution* subst) {
+    for (size_t k = 0; k < pos.size(); ++k) {
+      if (!Unify(pool, args[pos[k]], values[k], subst)) return false;
+    }
+    return true;
+  };
+  auto substitute = [&](const std::vector<int>& literals,
+                        const Substitution& subst) {
+    std::vector<Atom> goals;
+    for (int i : literals) {
+      Atom goal = rule.body[i];
+      for (TermId& arg : goal.args) arg = subst.Resolve(arg, pool);
+      goals.push_back(std::move(goal));
+    }
+    return goals;
+  };
+
+  // Up phase: counting sets, one entry vector per level.
+  std::vector<std::vector<Entry>> levels(1);
+  Tuple root_state;
+  for (int i : bound_pos) root_state.push_back(query.args[i]);
+  levels[0].push_back(Entry{root_state, {}, -1, {}});
+  ++stats->up_entries;
+
+  int64_t total_entries = 1;
+  while (!levels.back().empty()) {
+    if (++stats->levels > options.max_levels) {
+      return ResourceExhaustedError(
+          StrCat("counting exceeded ", options.max_levels,
+                 " levels (cyclic data? use the buffered evaluator)"));
+    }
+    std::vector<Entry> next;
+    for (size_t e = 0; e < levels.back().size(); ++e) {
+      const Entry& entry = levels.back()[e];
+      Substitution subst0;
+      if (!bind_positions(rule.head.args, bound_pos, entry.state, &subst0)) {
+        continue;
+      }
+      std::vector<Atom> goals = substitute(split.evaluable, subst0);
+      std::vector<TermId> rec_bound_terms;
+      for (int i : bound_pos) {
+        rec_bound_terms.push_back(subst0.Resolve(rec.args[i], pool));
+      }
+      std::vector<TermId> buffer_terms;
+      for (TermId v : buffered_vars) {
+        buffer_terms.push_back(subst0.Resolve(v, pool));
+      }
+      Status inner = Status::Ok();
+      Status status = solver.Solve(goals, [&](const Substitution& s) {
+        if (!inner.ok()) return;
+        Entry child;
+        for (TermId t : rec_bound_terms) {
+          child.state.push_back(s.Resolve(t, pool));
+        }
+        for (TermId t : buffer_terms) {
+          child.buffered.push_back(s.Resolve(t, pool));
+        }
+        for (TermId t : child.state) {
+          if (!pool.IsGround(t)) {
+            inner = NotFinitelyEvaluableError(
+                "counting up-phase produced a non-ground state");
+            return;
+          }
+        }
+        child.parent = static_cast<int>(e);
+        next.push_back(std::move(child));
+      });
+      CS_RETURN_IF_ERROR(status);
+      CS_RETURN_IF_ERROR(inner);
+    }
+    total_entries += static_cast<int64_t>(next.size());
+    stats->up_entries += static_cast<int64_t>(next.size());
+    if (total_entries > options.max_entries) {
+      return ResourceExhaustedError(
+          StrCat("counting exceeded ", options.max_entries, " entries"));
+    }
+    levels.push_back(std::move(next));
+  }
+
+  // Exit phase: every level's entries seed their own answers.
+  for (auto& level : levels) {
+    for (Entry& entry : level) {
+      for (const Rule& exit : chain.exit_rules) {
+        Substitution subst0;
+        if (!bind_positions(exit.head.args, bound_pos, entry.state,
+                            &subst0)) {
+          continue;
+        }
+        std::vector<Atom> goals;
+        for (const Atom& atom : exit.body) {
+          Atom goal = atom;
+          for (TermId& arg : goal.args) arg = subst0.Resolve(arg, pool);
+          goals.push_back(std::move(goal));
+        }
+        std::vector<TermId> free_terms;
+        for (int i : free_pos) {
+          free_terms.push_back(subst0.Resolve(exit.head.args[i], pool));
+        }
+        Status inner = Status::Ok();
+        Status status = solver.Solve(goals, [&](const Substitution& s) {
+          if (!inner.ok()) return;
+          Tuple row;
+          for (TermId t : free_terms) row.push_back(s.Resolve(t, pool));
+          for (TermId t : row) {
+            if (!pool.IsGround(t)) {
+              inner = NotFinitelyEvaluableError(
+                  "counting exit produced a non-ground answer");
+              return;
+            }
+          }
+          ++stats->exit_solutions;
+          entry.answers.insert(std::move(row));
+        });
+        CS_RETURN_IF_ERROR(status);
+        CS_RETURN_IF_ERROR(inner);
+      }
+    }
+  }
+
+  // Down phase: from the deepest level towards the root, apply the
+  // delayed portion once per level — the "counting down" that matches
+  // up-steps and down-steps.
+  for (size_t li = levels.size(); li-- > 1;) {
+    for (Entry& entry : levels[li]) {
+      if (entry.answers.empty() || entry.parent < 0) continue;
+      Entry& parent = levels[li - 1][entry.parent];
+      for (const Tuple& answer : entry.answers) {
+        Substitution subst0;
+        bool ok =
+            bind_positions(rule.head.args, bound_pos, parent.state, &subst0);
+        for (size_t k = 0; k < buffered_vars.size() && ok; ++k) {
+          ok = Unify(pool, buffered_vars[k], entry.buffered[k], &subst0);
+        }
+        if (ok) {
+          ok = bind_positions(rec.args, bound_pos, entry.state, &subst0);
+        }
+        if (ok) ok = bind_positions(rec.args, free_pos, answer, &subst0);
+        if (!ok) continue;
+        std::vector<Atom> goals = substitute(split.delayed, subst0);
+        std::vector<TermId> free_terms;
+        for (int i : free_pos) {
+          free_terms.push_back(subst0.Resolve(rule.head.args[i], pool));
+        }
+        ++stats->down_applications;
+        Status inner = Status::Ok();
+        Status status = solver.Solve(goals, [&](const Substitution& s) {
+          if (!inner.ok()) return;
+          Tuple row;
+          for (TermId t : free_terms) row.push_back(s.Resolve(t, pool));
+          for (TermId t : row) {
+            if (!pool.IsGround(t)) {
+              inner = NotFinitelyEvaluableError(
+                  "counting down-phase produced a non-ground answer");
+              return;
+            }
+          }
+          parent.answers.insert(std::move(row));
+        });
+        CS_RETURN_IF_ERROR(status);
+        CS_RETURN_IF_ERROR(inner);
+      }
+    }
+  }
+
+  std::vector<Tuple> result;
+  const Entry& root = levels[0][0];
+  stats->answers = static_cast<int64_t>(root.answers.size());
+  for (const Tuple& row : root.answers) {
+    Tuple full(query.args.size(), kNullTerm);
+    for (size_t k = 0; k < bound_pos.size(); ++k) {
+      full[bound_pos[k]] = root.state[k];
+    }
+    for (size_t k = 0; k < free_pos.size(); ++k) {
+      full[free_pos[k]] = row[k];
+    }
+    result.push_back(std::move(full));
+  }
+  return result;
+}
+
+}  // namespace chainsplit

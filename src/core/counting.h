@@ -1,0 +1,50 @@
+#ifndef CHAINSPLIT_CORE_COUNTING_H_
+#define CHAINSPLIT_CORE_COUNTING_H_
+
+#include <vector>
+
+#include "core/chain_compile.h"
+#include "core/finiteness.h"
+#include "engine/topdown.h"
+#include "rel/catalog.h"
+
+namespace chainsplit {
+
+struct CountingOptions {
+  /// Level cap: the classic counting method does not terminate on
+  /// cyclic data (the paper points to cyclic-counting extensions [5];
+  /// our BufferedChainEvaluator memoizes call states and is the
+  /// cyclic-safe variant). Exceeding the cap returns
+  /// kResourceExhausted.
+  int64_t max_levels = 100000;
+  int64_t max_entries = 5000000;
+  TopDownOptions subquery;
+};
+
+struct CountingStats {
+  int64_t levels = 0;
+  int64_t up_entries = 0;      // forward (counting-set) tuples
+  int64_t exit_solutions = 0;
+  int64_t down_applications = 0;
+  int64_t answers = 0;
+};
+
+/// The classic counting method [1] for a compiled chain recursion,
+/// expressed in chain-split vocabulary: the *evaluable* portion of
+/// `split` is the up-chain iterated from the query constants with a
+/// level index; the *delayed* portion is the down-chain applied exactly
+/// level-many times on the way back. Unlike BufferedChainEvaluator it
+/// keeps no memo table — identical call states reached along different
+/// derivation paths are re-expanded, and cyclic data loops (level cap).
+///
+/// Used as the chain-following baseline in benchmarks E5/E7.
+StatusOr<std::vector<Tuple>> CountingEvaluate(Database* db,
+                                              const CompiledChain& chain,
+                                              const PathSplit& split,
+                                              const Atom& query,
+                                              const CountingOptions& options,
+                                              CountingStats* stats);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_CORE_COUNTING_H_

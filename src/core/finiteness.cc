@@ -1,0 +1,164 @@
+#include "core/finiteness.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "engine/builtins.h"
+
+namespace chainsplit {
+
+bool HoldsWithFanout(const Relation& relation,
+                     const FinitenessConstraint& constraint,
+                     int64_t max_fanout) {
+  std::unordered_map<Tuple, std::unordered_set<TermId>, TupleHash> targets;
+  Tuple key(constraint.source_columns.size());
+  for (int64_t i = 0; i < relation.num_rows(); ++i) {
+    const Tuple& row = relation.row(i);
+    for (size_t c = 0; c < constraint.source_columns.size(); ++c) {
+      key[c] = row[constraint.source_columns[c]];
+    }
+    auto& set = targets[key];
+    set.insert(row[constraint.target_column]);
+    if (static_cast<int64_t>(set.size()) > max_fanout) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool Contains(const std::vector<TermId>& vars, TermId v) {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+void AddVars(const TermPool& pool, const Atom& atom,
+             std::vector<TermId>* bound) {
+  std::vector<TermId> vars;
+  CollectAtomVariables(pool, atom, &vars);
+  for (TermId v : vars) {
+    if (!Contains(*bound, v)) bound->push_back(v);
+  }
+}
+
+}  // namespace
+
+StatusOr<PathSplit> SplitPath(const Program& program,
+                              const CompiledChain& chain,
+                              const ChainPath& path,
+                              const std::vector<TermId>& bound_vars,
+                              const PropagationGate* gate) {
+  const TermPool& pool = program.pool();
+  const Rule& rule = chain.recursive_rule;
+
+  PathSplit split;
+  std::vector<TermId> bound = bound_vars;
+  std::vector<bool> chosen(path.literals.size(), false);
+  size_t remaining = path.literals.size();
+
+  while (remaining > 0) {
+    int pick = -1;
+    bool pick_is_builtin = false;
+    // Pass 1: builtins that became evaluable.
+    for (size_t i = 0; i < path.literals.size(); ++i) {
+      if (chosen[i]) continue;
+      const Atom& atom = rule.body[path.literals[i]];
+      BuiltinKind kind = GetBuiltinKind(program.preds(), atom.pred);
+      if (kind == BuiltinKind::kNone) continue;
+      std::string ad = AtomAdornment(pool, atom, bound);
+      std::vector<bool> arg_bound(ad.size());
+      for (size_t a = 0; a < ad.size(); ++a) arg_bound[a] = ad[a] == 'b';
+      bool evaluable = kind == BuiltinKind::kEq
+                           ? (arg_bound[0] || arg_bound[1])
+                           : BuiltinModeEvaluable(kind, arg_bound);
+      if (evaluable) {
+        pick = static_cast<int>(i);
+        pick_is_builtin = true;
+        break;
+      }
+    }
+    // Pass 2: EDB relation literals connected to the bound set (and
+    // past the efficiency gate when one is installed). IDB literals are
+    // never iterated forward: a functional IDB predicate (e.g. isort's
+    // inner `insert`, §4.1) is an infinite relation whose inputs come
+    // from the recursion's own answers, so it belongs to the delayed
+    // portion.
+    if (pick < 0) {
+      for (size_t i = 0; i < path.literals.size(); ++i) {
+        if (chosen[i]) continue;
+        const Atom& atom = rule.body[path.literals[i]];
+        if (GetBuiltinKind(program.preds(), atom.pred) !=
+            BuiltinKind::kNone) {
+          continue;
+        }
+        if (program.IsIdb(atom.pred) &&
+            !program.HasFiniteMode(atom.pred, AtomAdornment(pool, atom,
+                                                            bound))) {
+          continue;  // nested call without a declared finite mode: delay
+        }
+        std::string ad = AtomAdornment(pool, atom, bound);
+        if (ad.find('b') == std::string::npos) continue;  // unconnected
+        if (gate != nullptr && *gate != nullptr && !(*gate)(atom, ad)) {
+          continue;  // weak linkage: leave for later or delay
+        }
+        pick = static_cast<int>(i);
+        break;
+      }
+    }
+    if (pick < 0) break;  // nothing more is immediately evaluable
+    chosen[pick] = true;
+    --remaining;
+    split.evaluable.push_back(path.literals[pick]);
+    AddVars(pool, rule.body[path.literals[pick]], &bound);
+    (void)pick_is_builtin;
+  }
+
+  for (size_t i = 0; i < path.literals.size(); ++i) {
+    if (chosen[i]) continue;
+    split.delayed.push_back(path.literals[i]);
+    const Atom& atom = rule.body[path.literals[i]];
+    if (GetBuiltinKind(program.preds(), atom.pred) != BuiltinKind::kNone ||
+        program.IsIdb(atom.pred)) {
+      // A delayed functional predicate or nested recursion is a
+      // dataflow-forced (finiteness) split; a delayed EDB literal under
+      // a gate is an efficiency split.
+      split.finiteness_split = true;
+    } else if (gate != nullptr && *gate != nullptr) {
+      split.efficiency_split = true;
+    }
+  }
+
+  // Buffered variables: produced by the evaluable portion (not already
+  // bound by the query) and consumed later — by the delayed portion or
+  // directly by a free head argument at answer emission.
+  std::vector<TermId> evaluable_vars;
+  for (int i : split.evaluable) {
+    CollectAtomVariables(pool, rule.body[i], &evaluable_vars);
+  }
+  std::vector<TermId> consumer_vars;
+  for (int i : split.delayed) {
+    CollectAtomVariables(pool, rule.body[i], &consumer_vars);
+  }
+  for (TermId arg : rule.head.args) {
+    std::vector<TermId> head_arg_vars;
+    pool.CollectVariables(arg, &head_arg_vars);
+    for (TermId v : head_arg_vars) {
+      if (!Contains(bound_vars, v) && !Contains(consumer_vars, v)) {
+        consumer_vars.push_back(v);
+      }
+    }
+  }
+  for (TermId v : evaluable_vars) {
+    if (Contains(consumer_vars, v) && !Contains(bound_vars, v)) {
+      split.buffered_vars.push_back(v);
+    }
+  }
+  return split;
+}
+
+StatusOr<PathSplit> SplitPathByFiniteness(
+    const Program& program, const CompiledChain& chain, const ChainPath& path,
+    const std::vector<TermId>& bound_vars) {
+  return SplitPath(program, chain, path, bound_vars, nullptr);
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,75 @@
+#ifndef CHAINSPLIT_CORE_FINITENESS_H_
+#define CHAINSPLIT_CORE_FINITENESS_H_
+
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "core/chain_compile.h"
+#include "engine/adornment.h"
+#include "rel/relation.h"
+
+namespace chainsplit {
+
+/// A chain generating path split into the two portions of chain-split
+/// evaluation (§2): the *immediately evaluable* portion, iterated
+/// forward from the query bindings, and the *delayed-evaluation*
+/// portion, evaluated after the exit portion supplies the missing
+/// bindings. `evaluable` is in scheduled execution order.
+struct PathSplit {
+  std::vector<int> evaluable;  // body-literal indexes, schedule order
+  std::vector<int> delayed;    // body-literal indexes, source order
+  bool finiteness_split = false;   // a non-evaluable builtin forced it
+  bool efficiency_split = false;   // the cost model cut a weak linkage
+  /// Variables computed by the evaluable portion that the delayed
+  /// portion consumes — the values Algorithm 3.2 buffers per level.
+  std::vector<TermId> buffered_vars;
+
+  bool IsSplit() const { return !delayed.empty(); }
+};
+
+/// Finiteness constraint "X -> Y" on a predicate (§2.2): every value of
+/// the source columns corresponds to finitely many values of the target
+/// column. All columns of finite EDB relations satisfy it trivially;
+/// for builtins it is encoded by their evaluable modes
+/// (BuiltinModeEvaluable). This checker verifies a *bounded* variant on
+/// a concrete relation (every source key maps to at most `max_fanout`
+/// targets), which tests and the cost model use to validate statistics.
+struct FinitenessConstraint {
+  std::vector<int> source_columns;
+  int target_column = 0;
+};
+
+/// True when `relation` maps every source-columns key to at most
+/// `max_fanout` distinct target values.
+bool HoldsWithFanout(const Relation& relation,
+                     const FinitenessConstraint& constraint,
+                     int64_t max_fanout);
+
+/// Splits `path` of `chain` by finite evaluability alone (§2.2):
+/// greedily schedules literals that are evaluable given the variables
+/// bound so far (builtins in an evaluable mode; relation literals
+/// connected to a bound variable), starting from `bound_vars` (the
+/// head variables bound by the query). Everything unreachable is
+/// delayed. A path with no non-evaluable builtin and full connectivity
+/// comes back unsplit (pure chain-following).
+StatusOr<PathSplit> SplitPathByFiniteness(const Program& program,
+                                          const CompiledChain& chain,
+                                          const ChainPath& path,
+                                          const std::vector<TermId>& bound_vars);
+
+/// Generalized splitter: like SplitPathByFiniteness, but a relation
+/// literal additionally has to pass `gate` (when non-null) to enter the
+/// evaluable portion — cutting a weak linkage delays it and everything
+/// only reachable through it. This is the path-level form of Algorithm
+/// 3.1's modified binding propagation; split_decision.h wires the
+/// cost-model gate in.
+StatusOr<PathSplit> SplitPath(const Program& program,
+                              const CompiledChain& chain,
+                              const ChainPath& path,
+                              const std::vector<TermId>& bound_vars,
+                              const PropagationGate* gate);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_CORE_FINITENESS_H_

@@ -1,0 +1,164 @@
+#include "core/partial.h"
+
+#include <algorithm>
+
+#include "ast/builtin_names.h"
+#include "common/strings.h"
+#include "engine/builtins.h"
+
+namespace chainsplit {
+
+StatusOr<std::vector<Tuple>> PartialEvaluate(
+    Database* db, const CompiledChain& chain, const PathSplit& split,
+    const Atom& query, const AccumulatorConstraint& constraint,
+    const BufferedOptions& options, BufferedStats* stats) {
+  Program& program = db->program();
+  TermPool& pool = program.pool();
+  if (constraint.step_var == kNullTerm) {
+    return InvalidArgumentError("accumulator constraint has no step var");
+  }
+
+  const Rule& rule = chain.recursive_rule;
+  int arity = program.preds().arity(chain.pred);
+  PredId pushed_pred = program.InternPred(
+      StrCat(program.preds().name(chain.pred), "$pushed"), arity + 1);
+
+  TermId acc = pool.FreshVariable("Acc");
+  TermId acc1 = pool.FreshVariable("Acc");
+  PredId sum_pred = program.InternPred(kPredSum, 3);
+  PredId le_pred = program.InternPred(constraint.strict ? kPredLt : kPredLe, 2);
+  TermId limit_term = pool.MakeInt(constraint.limit);
+
+  // Transformed recursive rule: accumulator threaded through the
+  // evaluable portion, bound-checked before the recursive call.
+  Rule pushed;
+  pushed.head = rule.head;
+  pushed.head.pred = pushed_pred;
+  pushed.head.args.push_back(acc);
+  for (int i : split.evaluable) pushed.body.push_back(rule.body[i]);
+  pushed.body.push_back(Atom{sum_pred, {acc, constraint.step_var, acc1}});
+  pushed.body.push_back(Atom{le_pred, {acc1, limit_term}});
+  Atom rec_call = chain.recursive_call();
+  rec_call.pred = pushed_pred;
+  rec_call.args.push_back(acc1);
+  pushed.body.push_back(std::move(rec_call));
+  for (int i : split.delayed) pushed.body.push_back(rule.body[i]);
+
+  std::vector<Rule> pushed_rules;
+  pushed_rules.push_back(std::move(pushed));
+  for (const Rule& exit : chain.exit_rules) {
+    Rule pushed_exit = exit;
+    pushed_exit.head.pred = pushed_pred;
+    pushed_exit.head.args.push_back(pool.FreshVariable("Acc"));
+    pushed_rules.push_back(std::move(pushed_exit));
+  }
+
+  CS_ASSIGN_OR_RETURN(CompiledChain pushed_chain,
+                      CompileChain(program, pushed_rules, pushed_pred));
+
+  // Re-split the transformed body for the extended bound set (original
+  // bound head vars + the accumulator).
+  std::vector<TermId> bound_vars;
+  for (size_t i = 0; i < query.args.size(); ++i) {
+    if (pool.IsGround(query.args[i])) {
+      pool.CollectVariables(pushed_chain.head().args[i], &bound_vars);
+    }
+  }
+  bound_vars.push_back(acc);
+  ChainPath whole = WholeBodyPath(pool, pushed_chain);
+  CS_ASSIGN_OR_RETURN(
+      PathSplit pushed_split,
+      SplitPathByFiniteness(program, pushed_chain, whole, bound_vars));
+
+  Atom pushed_query = query;
+  pushed_query.pred = pushed_pred;
+  pushed_query.args.push_back(pool.MakeInt(constraint.initial));
+
+  BufferedChainEvaluator evaluator(db, pushed_chain, options);
+  CS_ASSIGN_OR_RETURN(std::vector<Tuple> pushed_answers,
+                      evaluator.Evaluate(pushed_query, pushed_split));
+  *stats = evaluator.stats();
+
+  std::vector<Tuple> answers;
+  answers.reserve(pushed_answers.size());
+  for (Tuple& row : pushed_answers) {
+    row.pop_back();  // drop the accumulator column
+    answers.push_back(std::move(row));
+  }
+  return answers;
+}
+
+std::optional<AccumulatorConstraint> DeduceAccumulatorConstraint(
+    Database* db, const CompiledChain& chain, const PathSplit& split,
+    int head_position, int64_t limit, bool strict) {
+  const Program& program = db->program();
+  const TermPool& pool = program.pool();
+  const Rule& rule = chain.recursive_rule;
+
+  // The constrained head position and the recursive call's same
+  // position must both be variables related by one sum literal.
+  TermId head_var = rule.head.args[head_position];
+  TermId rec_var = chain.recursive_call().args[head_position];
+  if (!pool.IsVariable(head_var) || !pool.IsVariable(rec_var)) {
+    return std::nullopt;
+  }
+
+  std::vector<TermId> evaluable_vars;
+  for (int i : split.evaluable) {
+    CollectAtomVariables(pool, rule.body[i], &evaluable_vars);
+  }
+
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Atom& atom = rule.body[i];
+    if (GetBuiltinKind(program.preds(), atom.pred) != BuiltinKind::kSum) {
+      continue;
+    }
+    // sum(A, B, head_var) with {A, B} = {step, rec_var}.
+    if (atom.args[2] != head_var) continue;
+    TermId step = kNullTerm;
+    if (atom.args[0] == rec_var) {
+      step = atom.args[1];
+    } else if (atom.args[1] == rec_var) {
+      step = atom.args[0];
+    } else {
+      continue;
+    }
+    if (std::find(evaluable_vars.begin(), evaluable_vars.end(), step) ==
+        evaluable_vars.end()) {
+      continue;  // step not produced by the forward portion
+    }
+    // Verify the step is non-negative: find the evaluable EDB literal
+    // and column that binds it and scan that column's minimum.
+    bool nonnegative = false;
+    for (int lit : split.evaluable) {
+      const Atom& producer = rule.body[lit];
+      if (IsBuiltinPred(program.preds(), producer.pred)) continue;
+      for (size_t c = 0; c < producer.args.size(); ++c) {
+        if (producer.args[c] != step) continue;
+        const Relation* rel = db->GetRelation(producer.pred);
+        if (rel == nullptr) continue;
+        bool all_nonneg = rel->size() > 0;
+        for (int64_t r = 0; r < rel->num_rows(); ++r) {
+          TermId v = rel->row(r)[c];
+          if (!pool.IsInt(v) || pool.int_value(v) < 0) {
+            all_nonneg = false;
+            break;
+          }
+        }
+        nonnegative = nonnegative || all_nonneg;
+      }
+    }
+    if (!nonnegative) continue;
+
+    AccumulatorConstraint constraint;
+    constraint.head_position = head_position;
+    constraint.step_var = step;
+    constraint.initial = 0;
+    constraint.limit = limit;
+    constraint.strict = strict;
+    return constraint;
+  }
+  return std::nullopt;
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,62 @@
+#ifndef CHAINSPLIT_CORE_PARTIAL_H_
+#define CHAINSPLIT_CORE_PARTIAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/buffered.h"
+
+namespace chainsplit {
+
+/// A pushable query constraint (§3.3): the answer value at
+/// `head_position` accumulates monotonically along the chain (one
+/// `step_var` increment per level, all increments non-negative), and
+/// the query demands `answer <= limit` (or `<` when `strict`). Under
+/// monotonicity, any partial accumulation above the limit can be pruned
+/// — "when S > 600, the continued search following this intermediate
+/// tuple will be hopeless".
+struct AccumulatorConstraint {
+  int head_position = -1;   // constrained head argument (diagnostics)
+  TermId step_var = kNullTerm;  // per-level increment, bound by the
+                                // evaluable portion
+  int64_t initial = 0;
+  int64_t limit = 0;
+  bool strict = false;
+};
+
+/// Chain-split partial evaluation (Algorithm 3.3): pushes
+/// `constraint` into the iterated chain by threading an accumulator
+/// argument through the recursion —
+///
+///   p'(args.., Acc) :- <evaluable>, sum(Acc, Step, Acc1),
+///                      Acc1 =< limit, p'(rec_args.., Acc1), <delayed>.
+///
+/// — and evaluating the transformed chain with the buffered evaluator.
+/// The forward phase now fails (prunes) as soon as the partial sum
+/// exceeds the limit, and on cyclic data with strictly positive steps
+/// the accumulator bound is what makes the evaluation terminate (the
+/// paper's monotonicity-based termination).
+///
+/// The returned answers are answers of the *original* query; the final
+/// (exact) constraint on the answer value is NOT applied here — the
+/// caller post-filters, keeping pruning and exactness separable for the
+/// E4 experiment.
+StatusOr<std::vector<Tuple>> PartialEvaluate(
+    Database* db, const CompiledChain& chain, const PathSplit& split,
+    const Atom& query, const AccumulatorConstraint& constraint,
+    const BufferedOptions& options, BufferedStats* stats);
+
+/// Tries to derive an AccumulatorConstraint for "answer at
+/// `head_position` <= limit" from the chain's structure: looks for a
+/// `sum` literal combining a step variable (bound by the evaluable
+/// portion) with the recursive call's value at that position, and
+/// verifies the step is non-negative by scanning the EDB column that
+/// produces it. Returns nullopt when the pattern does not apply (the
+/// planner then falls back to post-filtering).
+std::optional<AccumulatorConstraint> DeduceAccumulatorConstraint(
+    Database* db, const CompiledChain& chain, const PathSplit& split,
+    int head_position, int64_t limit, bool strict);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_CORE_PARTIAL_H_

@@ -1,0 +1,414 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "ast/builtin_names.h"
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "common/strings.h"
+#include "core/bounded.h"
+#include "core/classify.h"
+#include "core/rectify.h"
+#include "engine/builtins.h"
+#include "engine/magic.h"
+
+namespace chainsplit {
+
+const char* TechniqueToString(Technique t) {
+  switch (t) {
+    case Technique::kMagicSets: return "magic-sets";
+    case Technique::kChainSplitMagic: return "chain-split-magic";
+    case Technique::kBuffered: return "buffered-chain-split";
+    case Technique::kPartial: return "partial-evaluation";
+    case Technique::kTopDown: return "top-down";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Extracts "Var <op> constant" upper-bound constraints usable for
+/// constraint pushing from the non-main query goals.
+struct UpperBound {
+  TermId var = kNullTerm;
+  int64_t limit = 0;
+  bool strict = false;
+};
+
+std::vector<UpperBound> FindUpperBounds(const Program& program,
+                                        const std::vector<Atom>& goals) {
+  std::vector<UpperBound> bounds;
+  const TermPool& pool = program.pool();
+  for (const Atom& goal : goals) {
+    BuiltinKind kind = GetBuiltinKind(program.preds(), goal.pred);
+    UpperBound b;
+    if (kind == BuiltinKind::kLe || kind == BuiltinKind::kLt) {
+      // V =< c.
+      if (pool.IsVariable(goal.args[0]) && pool.IsInt(goal.args[1])) {
+        b.var = goal.args[0];
+        b.limit = pool.int_value(goal.args[1]);
+        b.strict = kind == BuiltinKind::kLt;
+        bounds.push_back(b);
+      }
+    } else if (kind == BuiltinKind::kGe || kind == BuiltinKind::kGt) {
+      // c >= V.
+      if (pool.IsInt(goal.args[0]) && pool.IsVariable(goal.args[1])) {
+        b.var = goal.args[1];
+        b.limit = pool.int_value(goal.args[0]);
+        b.strict = kind == BuiltinKind::kGt;
+        bounds.push_back(b);
+      }
+    }
+  }
+  return bounds;
+}
+
+/// Evaluation context for one query.
+class PlanRun {
+ public:
+  PlanRun(Database* db, const Query& query, const PlannerOptions& options)
+      : db_(db),
+        program_(db->program()),
+        pool_(db->pool()),
+        query_(query),
+        options_(options) {}
+
+  StatusOr<QueryResult> Execute() {
+    if (query_.goals.empty()) {
+      return InvalidArgumentError("empty query");
+    }
+    for (const Atom& goal : query_.goals) {
+      CollectAtomVariables(pool_, goal, &result_.vars);
+    }
+
+    // Main goal: the first IDB, non-builtin goal.
+    int main_idx = -1;
+    for (size_t i = 0; i < query_.goals.size(); ++i) {
+      const Atom& goal = query_.goals[i];
+      if (!IsBuiltinPred(program_.preds(), goal.pred) &&
+          program_.IsIdb(goal.pred)) {
+        main_idx = static_cast<int>(i);
+        break;
+      }
+    }
+    if (main_idx < 0 || (options_.force.has_value() &&
+                         *options_.force == Technique::kTopDown)) {
+      return RunTopDown();
+    }
+    main_goal_ = query_.goals[main_idx];
+    for (size_t i = 0; i < query_.goals.size(); ++i) {
+      if (static_cast<int>(i) != main_idx) {
+        rest_goals_.push_back(query_.goals[i]);
+      }
+    }
+    // The techniques need a flat main goal (ground or variable args).
+    for (TermId arg : main_goal_.args) {
+      if (!pool_.IsGround(arg) && !pool_.IsVariable(arg)) {
+        return RunTopDown();
+      }
+    }
+
+    rectified_ = RectifyRules(&program_);
+    // EDB facts of IDB predicates (e.g. `sg(tom, sue).` next to sg
+    // rules) participate in rule-based evaluation as body-less rules,
+    // so the adorned/magic program derives them into the adorned
+    // answer relations too.
+    {
+      std::unordered_set<PredId> idb;
+      for (const Rule& rule : rectified_) idb.insert(rule.head.pred);
+      for (const Atom& fact : program_.facts()) {
+        if (idb.count(fact.pred) > 0) {
+          rectified_.push_back(Rule{fact, {}});
+        }
+      }
+    }
+    ProgramAnalysis analysis = ProgramAnalysis::Analyze(program_, rectified_);
+    const PredicateClassification& cls = analysis.Get(main_goal_.pred);
+    AppendPlan(StrCat("recursion class of ",
+                      program_.preds().Display(main_goal_.pred), ": ",
+                      RecursionClassToString(cls.recursion),
+                      cls.functional ? " (functional)" : " (function-free)"));
+
+    if (options_.force.has_value()) {
+      switch (*options_.force) {
+        case Technique::kMagicSets:
+          return RunMagic(/*use_gate=*/false);
+        case Technique::kChainSplitMagic:
+          return RunMagic(/*use_gate=*/true);
+        case Technique::kBuffered:
+          return RunChain(/*allow_partial=*/false);
+        case Technique::kPartial:
+          return RunChain(/*allow_partial=*/true);
+        case Technique::kTopDown:
+          return RunTopDown();
+      }
+    }
+
+    if (!cls.functional) {
+      // Bounded-recursion compilation ([8, 9]): a permutation-bounded
+      // linear recursion is replaced by its non-recursive unfolding.
+      if (cls.recursion == RecursionClass::kLinear) {
+        std::optional<BoundedUnfolding> bounded = DetectBoundedRecursion(
+            &program_, rectified_, main_goal_.pred);
+        if (bounded.has_value()) {
+          AppendPlan(StrCat("bounded recursion: unfolded with period ",
+                            bounded->period,
+                            "; evaluating non-recursively"));
+          std::vector<Rule> replaced;
+          for (const Rule& rule : rectified_) {
+            if (rule.head.pred != main_goal_.pred) replaced.push_back(rule);
+          }
+          for (const Rule& rule : bounded->rules) replaced.push_back(rule);
+          rectified_ = std::move(replaced);
+        }
+      }
+      return RunMagic(options_.split.enable_efficiency_split);
+    }
+    if (cls.recursion == RecursionClass::kLinear ||
+        cls.recursion == RecursionClass::kNestedLinear) {
+      StatusOr<QueryResult> chain_result = RunChain(/*allow_partial=*/true);
+      if (chain_result.ok() ||
+          chain_result.status().code() != StatusCode::kUnimplemented) {
+        return chain_result;
+      }
+      AppendPlan(StrCat("chain compilation unavailable (",
+                        chain_result.status().message(),
+                        "); falling back to SLD"));
+    }
+    return RunTopDown();
+  }
+
+ private:
+  void AppendPlan(std::string line) {
+    result_.plan += line;
+    result_.plan += "\n";
+  }
+
+  StatusOr<QueryResult> RunTopDown() {
+    AppendPlan("technique: top-down SLD resolution");
+    result_.technique = Technique::kTopDown;
+    TopDownEvaluator solver(db_, options_.topdown);
+    CS_ASSIGN_OR_RETURN(result_.answers,
+                        solver.Answers(query_.goals, result_.vars));
+    result_.topdown_stats = solver.stats();
+    return std::move(result_);
+  }
+
+  std::string QueryAdornment() const {
+    std::string adornment;
+    for (TermId arg : main_goal_.args) {
+      adornment.push_back(pool_.IsGround(arg) ? 'b' : 'f');
+    }
+    return adornment;
+  }
+
+  StatusOr<QueryResult> RunMagic(bool use_gate) {
+    auto gate_fired = std::make_shared<bool>(false);
+    PropagationGate gate;
+    if (use_gate) {
+      PropagationGate cost_gate = MakeCostGate(db_, options_.split.cost);
+      gate = [cost_gate, gate_fired](const Atom& literal,
+                                     const std::string& ad) {
+        bool propagate = cost_gate(literal, ad);
+        // Only a cut on a *partially bound* literal is a chain-split
+        // decision; all-free literals never carry bindings anyway.
+        if (!propagate && ad.find('b') != std::string::npos) {
+          *gate_fired = true;
+        }
+        return propagate;
+      };
+    }
+    CS_ASSIGN_OR_RETURN(
+        AdornedProgram adorned,
+        AdornProgram(&program_, rectified_, main_goal_.pred,
+                     QueryAdornment(), gate));
+    CS_ASSIGN_OR_RETURN(MagicProgram magic,
+                        MagicTransform(&program_, adorned, main_goal_));
+    for (const Atom& seed : magic.seeds) {
+      db_->InsertFact(seed.pred, seed.args);
+    }
+    SemiNaiveOptions seminaive = options_.seminaive;
+    if (options_.use_stats_ordering && seminaive.estimator == nullptr) {
+      Database* db = db_;
+      seminaive.estimator = [db](PredId pred, const std::string& ad) {
+        return EstimateJoinExpansion(db->Stats(pred), ad);
+      };
+    }
+    CS_RETURN_IF_ERROR(SemiNaiveEvaluate(db_, magic.rules, seminaive,
+                                         &result_.seminaive_stats));
+    result_.technique = (use_gate && *gate_fired)
+                            ? Technique::kChainSplitMagic
+                            : Technique::kMagicSets;
+    AppendPlan(StrCat("technique: ", TechniqueToString(result_.technique),
+                      " (", magic.rules.size(), " transformed rules, query ",
+                      program_.preds().Display(magic.answer_pred), ")"));
+
+    // Answers: tuples of the adorned query predicate matching the
+    // query's ground arguments.
+    std::vector<Tuple> answers;
+    const Relation* rel = db_->GetRelation(magic.answer_pred);
+    if (rel != nullptr) {
+      for (int64_t i = 0; i < rel->num_rows(); ++i) {
+        const Tuple& row = rel->row(i);
+        bool match = true;
+        for (size_t a = 0; a < main_goal_.args.size() && match; ++a) {
+          if (pool_.IsGround(main_goal_.args[a])) {
+            match = row[a] == main_goal_.args[a];
+          }
+        }
+        if (match) answers.push_back(row);
+      }
+    }
+    CS_RETURN_IF_ERROR(FinishWithMainAnswers(answers));
+    return std::move(result_);
+  }
+
+  StatusOr<QueryResult> RunChain(bool allow_partial) {
+    CS_ASSIGN_OR_RETURN(
+        CompiledChain chain,
+        CompileChain(program_, rectified_, main_goal_.pred));
+    std::vector<TermId> bound_vars;
+    for (size_t i = 0; i < main_goal_.args.size(); ++i) {
+      if (pool_.IsGround(main_goal_.args[i])) {
+        pool_.CollectVariables(chain.head().args[i], &bound_vars);
+      }
+    }
+    ChainPath whole = WholeBodyPath(pool_, chain);
+    CS_ASSIGN_OR_RETURN(
+        PathSplit split,
+        DecideSplit(db_, chain, whole, bound_vars, options_.split));
+    AppendPlan(CompiledChainToString(program_, chain));
+    AppendPlan(StrCat("split: ", PathSplitToString(program_, chain, split)));
+
+    // Constraint pushing (Algorithm 3.3) when the query carries an
+    // upper bound on a monotone answer position.
+    if (allow_partial) {
+      for (const UpperBound& bound :
+           FindUpperBounds(program_, rest_goals_)) {
+        int position = -1;
+        for (size_t i = 0; i < main_goal_.args.size(); ++i) {
+          if (main_goal_.args[i] == bound.var) {
+            position = static_cast<int>(i);
+          }
+        }
+        if (position < 0) continue;
+        std::optional<AccumulatorConstraint> constraint =
+            DeduceAccumulatorConstraint(db_, chain, split, position,
+                                        bound.limit, bound.strict);
+        if (!constraint.has_value()) continue;
+        AppendPlan(StrCat(
+            "technique: partial evaluation, pushing bound ", bound.limit,
+            " on argument ", position, " into the chain"));
+        result_.technique = Technique::kPartial;
+        std::vector<Tuple> answers;
+        CS_ASSIGN_OR_RETURN(
+            answers, PartialEvaluate(db_, chain, split, main_goal_,
+                                     *constraint, options_.buffered,
+                                     &result_.buffered_stats));
+        CS_RETURN_IF_ERROR(FinishWithMainAnswers(answers));
+        return std::move(result_);
+      }
+      if (options_.force == Technique::kPartial) {
+        return FailedPreconditionError(
+            "partial evaluation forced but no pushable constraint found");
+      }
+    }
+
+    AppendPlan("technique: buffered chain-split evaluation");
+    result_.technique = Technique::kBuffered;
+    BufferedOptions buffered = options_.buffered;
+    bool boolean_query = true;
+    for (TermId arg : main_goal_.args) {
+      boolean_query = boolean_query && pool_.IsGround(arg);
+    }
+    if (boolean_query && rest_goals_.empty()) {
+      // Existence check: one proof suffices for a fully bound query.
+      buffered.stop_at_first_answer = true;
+      AppendPlan("existence check: stopping at the first proof");
+    }
+    BufferedChainEvaluator evaluator(db_, chain, buffered);
+    CS_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
+                        evaluator.Evaluate(main_goal_, split));
+    result_.buffered_stats = evaluator.stats();
+    CS_RETURN_IF_ERROR(FinishWithMainAnswers(answers));
+    return std::move(result_);
+  }
+
+  /// Joins the main-goal answers with the remaining query goals and
+  /// projects to the query variables.
+  Status FinishWithMainAnswers(const std::vector<Tuple>& answers) {
+    TopDownEvaluator solver(db_, options_.topdown);
+    std::unordered_set<Tuple, TupleHash> seen;
+    for (const Tuple& tuple : answers) {
+      Substitution subst0;
+      bool ok = true;
+      for (size_t i = 0; i < main_goal_.args.size() && ok; ++i) {
+        ok = Unify(pool_, main_goal_.args[i], tuple[i], &subst0);
+      }
+      if (!ok) continue;
+      auto emit = [&](const Substitution& s) {
+        Tuple row;
+        row.reserve(result_.vars.size());
+        for (TermId v : result_.vars) {
+          row.push_back(s.Resolve(subst0.Resolve(v, pool_), pool_));
+        }
+        if (seen.insert(row).second) result_.answers.push_back(row);
+      };
+      if (rest_goals_.empty()) {
+        Substitution empty;
+        emit(empty);
+        continue;
+      }
+      std::vector<Atom> goals;
+      goals.reserve(rest_goals_.size());
+      for (const Atom& goal : rest_goals_) {
+        Atom g = goal;
+        for (TermId& arg : g.args) arg = subst0.Resolve(arg, pool_);
+        goals.push_back(std::move(g));
+      }
+      CS_RETURN_IF_ERROR(solver.Solve(goals, emit));
+    }
+    result_.topdown_stats = solver.stats();
+    return Status::Ok();
+  }
+
+  Database* db_;
+  Program& program_;
+  TermPool& pool_;
+  const Query& query_;
+  const PlannerOptions& options_;
+
+  Atom main_goal_;
+  std::vector<Atom> rest_goals_;
+  std::vector<Rule> rectified_;
+  QueryResult result_;
+};
+
+}  // namespace
+
+StatusOr<QueryResult> EvaluateQuery(Database* db, const Query& query,
+                                    const PlannerOptions& options) {
+  PlanRun run(db, query, options);
+  return run.Execute();
+}
+
+Status MaterializeAll(Database* db, const SemiNaiveOptions& options) {
+  Program& program = db->program();
+  std::vector<Rule> rectified = RectifyRules(&program);
+  SemiNaiveStats stats;
+  return SemiNaiveEvaluate(db, rectified, options, &stats);
+}
+
+StatusOr<QueryResult> RunProgram(Database* db, std::string_view source,
+                                 const PlannerOptions& options) {
+  CS_RETURN_IF_ERROR(ParseProgram(source, &db->program()));
+  CS_RETURN_IF_ERROR(db->LoadProgramFacts());
+  if (db->program().queries().empty()) {
+    return InvalidArgumentError("program contains no query");
+  }
+  return EvaluateQuery(db, db->program().queries().front(), options);
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,88 @@
+#ifndef CHAINSPLIT_CORE_PLANNER_H_
+#define CHAINSPLIT_CORE_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "core/buffered.h"
+#include "core/partial.h"
+#include "core/split_decision.h"
+#include "engine/seminaive.h"
+#include "engine/topdown.h"
+#include "rel/catalog.h"
+
+namespace chainsplit {
+
+/// Evaluation techniques the planner can pick (§3 of the paper, plus
+/// the SLD fallback for recursion classes outside the compiled-chain
+/// fragment).
+enum class Technique {
+  kMagicSets,        // chain-following magic sets + semi-naive
+  kChainSplitMagic,  // Algorithm 3.1 (gated binding propagation)
+  kBuffered,         // Algorithm 3.2 (buffered chain-split)
+  kPartial,          // Algorithm 3.3 (constraint-pushing partial eval)
+  kTopDown,          // SLD resolution (nonlinear recursions, fallback)
+};
+
+const char* TechniqueToString(Technique t);
+
+struct PlannerOptions {
+  SplitDecisionOptions split;
+  SemiNaiveOptions seminaive;
+  BufferedOptions buffered;
+  TopDownOptions topdown;
+  /// Force a technique instead of letting the analysis choose. Forcing
+  /// an inapplicable technique returns an error — benchmarks use this
+  /// to run baselines.
+  std::optional<Technique> force;
+
+  /// Order body literals by catalog-statistics cardinality estimates
+  /// (access-path selection [13, 18]) during bottom-up evaluation.
+  /// Off = the bound-argument-count heuristic; the join-order ablation
+  /// benchmark compares the two.
+  bool use_stats_ordering = true;
+};
+
+/// Answers plus provenance of one query evaluation.
+struct QueryResult {
+  /// The query's distinct variables, in first-occurrence order.
+  std::vector<TermId> vars;
+  /// One row per answer: bindings of `vars`.
+  std::vector<Tuple> answers;
+  Technique technique = Technique::kTopDown;
+  /// Human-readable plan: recursion class, chain form, split, reasons.
+  std::string plan;
+
+  SemiNaiveStats seminaive_stats;
+  BufferedStats buffered_stats;
+  TopDownStats topdown_stats;
+};
+
+/// Plans and evaluates `query` against `*db` (rules + EDB facts):
+/// classifies the queried recursion, compiles its chain form, runs the
+/// chain-split analysis, picks the technique, evaluates, and applies
+/// the remaining query goals (constraints) to the answers.
+///
+/// This is the library's main entry point; see examples/.
+StatusOr<QueryResult> EvaluateQuery(Database* db, const Query& query,
+                                    const PlannerOptions& options = {});
+
+/// Convenience: parse `source` (rules + facts + one query), load facts,
+/// and evaluate the first query.
+StatusOr<QueryResult> RunProgram(Database* db, std::string_view source,
+                                 const PlannerOptions& options = {});
+
+/// Materializes every IDB predicate of `db`'s program bottom-up (the
+/// classic Datalog fixpoint over the rectified rules, callee SCCs
+/// first). Only valid for function-free programs: a functional
+/// recursion denotes an infinite relation and is rejected with
+/// kNotFinitelyEvaluable — use query-directed evaluation
+/// (EvaluateQuery) for those, which is the paper's whole point.
+Status MaterializeAll(Database* db, const SemiNaiveOptions& options = {});
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_CORE_PLANNER_H_

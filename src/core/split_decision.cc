@@ -1,0 +1,52 @@
+#include "core/split_decision.h"
+
+#include "ast/printer.h"
+#include "common/strings.h"
+
+namespace chainsplit {
+
+StatusOr<PathSplit> DecideSplit(Database* db, const CompiledChain& chain,
+                                const ChainPath& path,
+                                const std::vector<TermId>& bound_vars,
+                                const SplitDecisionOptions& options) {
+  const Program& program = db->program();
+  PropagationGate gate;
+  if (options.enable_efficiency_split) {
+    gate = MakeCostGate(db, options.cost);
+  }
+  CS_ASSIGN_OR_RETURN(
+      PathSplit split,
+      SplitPath(program, chain, path, bound_vars,
+                options.enable_efficiency_split ? &gate : nullptr));
+  if (split.finiteness_split && !options.enable_finiteness_split) {
+    return NotFinitelyEvaluableError(
+        StrCat("path of ", program.preds().Display(chain.pred),
+               " contains a non-evaluable functional predicate and "
+               "finiteness-based chain-split is disabled"));
+  }
+  return split;
+}
+
+std::string PathSplitToString(const Program& program,
+                              const CompiledChain& chain,
+                              const PathSplit& split) {
+  auto literals = [&](const std::vector<int>& indexes) {
+    std::vector<std::string> parts;
+    for (int i : indexes) {
+      parts.push_back(AtomToString(program, chain.recursive_rule.body[i]));
+    }
+    return StrJoin(parts, ", ");
+  };
+  std::string why;
+  if (split.finiteness_split) why += " [finiteness]";
+  if (split.efficiency_split) why += " [efficiency]";
+  std::vector<std::string> buffered;
+  for (TermId v : split.buffered_vars) {
+    buffered.push_back(program.pool().ToString(v));
+  }
+  return StrCat("evaluable {", literals(split.evaluable), "} | delayed {",
+                literals(split.delayed), "} buffered {",
+                StrJoin(buffered, ", "), "}", why);
+}
+
+}  // namespace chainsplit

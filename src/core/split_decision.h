@@ -1,0 +1,45 @@
+#ifndef CHAINSPLIT_CORE_SPLIT_DECISION_H_
+#define CHAINSPLIT_CORE_SPLIT_DECISION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/finiteness.h"
+#include "rel/catalog.h"
+
+namespace chainsplit {
+
+/// Knobs of the combined chain-split decision.
+struct SplitDecisionOptions {
+  CostModelOptions cost;
+  /// Apply the efficiency-based criterion (§2.1 / Algorithm 3.1).
+  bool enable_efficiency_split = true;
+  /// The finiteness-based criterion (§2.2) is not optional in substance
+  /// — a non-evaluable builtin can never be iterated forward — but
+  /// turning this off makes DecideSplit report an error instead of a
+  /// split, which the tests use to show the query is otherwise
+  /// unanswerable.
+  bool enable_finiteness_split = true;
+};
+
+/// The full chain-split decision for one chain generating path: the
+/// finiteness analysis gated by the cost model. On success the PathSplit
+/// tells the buffered/partial evaluators what to iterate and what to
+/// delay; `finiteness_split` / `efficiency_split` say why.
+///
+/// `bound_vars` are the head variables bound by the query adornment on
+/// this path.
+StatusOr<PathSplit> DecideSplit(Database* db, const CompiledChain& chain,
+                                const ChainPath& path,
+                                const std::vector<TermId>& bound_vars,
+                                const SplitDecisionOptions& options = {});
+
+/// Renders a split for logs/tests: "evaluable {…} | delayed {…}".
+std::string PathSplitToString(const Program& program,
+                              const CompiledChain& chain,
+                              const PathSplit& split);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_CORE_SPLIT_DECISION_H_

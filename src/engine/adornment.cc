@@ -1,0 +1,149 @@
+#include "engine/adornment.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/strings.h"
+#include "engine/builtins.h"
+
+namespace chainsplit {
+namespace {
+
+bool AllVarsBound(const TermPool& pool, TermId arg,
+                  const std::vector<TermId>& bound) {
+  if (pool.IsGround(arg)) return true;
+  std::vector<TermId> vars;
+  pool.CollectVariables(arg, &vars);
+  for (TermId v : vars) {
+    if (std::find(bound.begin(), bound.end(), v) == bound.end()) return false;
+  }
+  return true;
+}
+
+void AddVars(const TermPool& pool, const Atom& atom,
+             std::vector<TermId>* bound) {
+  std::vector<TermId> vars;
+  CollectAtomVariables(pool, atom, &vars);
+  for (TermId v : vars) {
+    if (std::find(bound->begin(), bound->end(), v) == bound->end()) {
+      bound->push_back(v);
+    }
+  }
+}
+
+std::string AdornedName(const PredicateTable& preds, PredId pred,
+                        const std::string& adornment) {
+  return StrCat(preds.name(pred), "__", adornment);
+}
+
+std::vector<const Rule*> RulesFor(const std::vector<Rule>& rules,
+                                  PredId pred) {
+  std::vector<const Rule*> out;
+  for (const Rule& rule : rules) {
+    if (rule.head.pred == pred) out.push_back(&rule);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AtomAdornment(const TermPool& pool, const Atom& atom,
+                          const std::vector<TermId>& bound) {
+  std::string adornment;
+  adornment.reserve(atom.args.size());
+  for (TermId arg : atom.args) {
+    adornment.push_back(AllVarsBound(pool, arg, bound) ? 'b' : 'f');
+  }
+  return adornment;
+}
+
+StatusOr<AdornedProgram> AdornProgram(Program* program,
+                                      const std::vector<Rule>& rules,
+                                      PredId query_pred,
+                                      const std::string& adornment,
+                                      const PropagationGate& gate) {
+  TermPool& pool = program->pool();
+  PredicateTable& preds = program->preds();
+  if (static_cast<int>(adornment.size()) != preds.arity(query_pred)) {
+    return InvalidArgumentError(
+        StrCat("adornment ", adornment, " does not match arity of ",
+               preds.Display(query_pred)));
+  }
+  auto is_idb = [&rules](PredId p) {
+    for (const Rule& r : rules) {
+      if (r.head.pred == p) return true;
+    }
+    return false;
+  };
+  if (!is_idb(query_pred)) {
+    return InvalidArgumentError(StrCat("query predicate ",
+                                       preds.Display(query_pred),
+                                       " has no rules"));
+  }
+
+  AdornedProgram result;
+  // Worklist of (original pred, adornment) call patterns to process.
+  std::deque<std::pair<PredId, std::string>> worklist;
+  std::set<std::pair<PredId, std::string>> seen;
+
+  auto intern_adorned = [&](PredId pred,
+                            const std::string& ad) -> PredId {
+    PredId adorned =
+        preds.Intern(AdornedName(preds, pred, ad), preds.arity(pred));
+    result.info.emplace(adorned, AdornedPredInfo{pred, ad});
+    if (seen.insert({pred, ad}).second) worklist.push_back({pred, ad});
+    return adorned;
+  };
+
+  result.query_pred = intern_adorned(query_pred, adornment);
+
+  while (!worklist.empty()) {
+    auto [pred, ad] = worklist.front();
+    worklist.pop_front();
+    for (const Rule* rule : RulesFor(rules, pred)) {
+      AdornedRule adorned;
+      Rule& adorned_rule = adorned.rule;
+      adorned_rule.head = rule->head;
+      adorned_rule.head.pred = intern_adorned(pred, ad);
+
+      // Variables bound by the call: those in 'b' head positions.
+      std::vector<TermId> bound;
+      for (size_t i = 0; i < rule->head.args.size(); ++i) {
+        if (ad[i] == 'b') pool.CollectVariables(rule->head.args[i], &bound);
+      }
+
+      for (const Atom& literal : rule->body) {
+        std::string lit_ad = AtomAdornment(pool, literal, bound);
+        Atom adorned_literal = literal;
+        BuiltinKind builtin = GetBuiltinKind(preds, literal.pred);
+        bool propagate;
+        if (builtin != BuiltinKind::kNone) {
+          // A builtin propagates bindings only when it is finitely
+          // evaluable in this mode (finiteness-based gating, §2.2).
+          std::vector<bool> arg_bound(lit_ad.size());
+          for (size_t i = 0; i < lit_ad.size(); ++i) {
+            arg_bound[i] = lit_ad[i] == 'b';
+          }
+          if (builtin == BuiltinKind::kEq) {
+            propagate = arg_bound[0] || arg_bound[1];
+          } else {
+            propagate = BuiltinModeEvaluable(builtin, arg_bound);
+          }
+        } else if (is_idb(literal.pred)) {
+          adorned_literal.pred = intern_adorned(literal.pred, lit_ad);
+          propagate = true;  // answers of the call bind its arguments
+        } else {
+          propagate = gate == nullptr || gate(literal, lit_ad);
+        }
+        adorned_rule.body.push_back(adorned_literal);
+        adorned.propagates.push_back(propagate);
+        if (propagate) AddVars(pool, literal, &bound);
+      }
+      result.rules.push_back(std::move(adorned));
+    }
+  }
+  return result;
+}
+
+}  // namespace chainsplit

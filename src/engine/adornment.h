@@ -1,0 +1,78 @@
+#ifndef CHAINSPLIT_ENGINE_ADORNMENT_H_
+#define CHAINSPLIT_ENGINE_ADORNMENT_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+
+namespace chainsplit {
+
+/// An adornment is a string over {'b','f'}, one character per argument
+/// ("bf" = first bound, second free), as in the magic sets literature
+/// and §2.2 of the paper.
+
+/// Decides whether the bindings produced by evaluating `literal` (whose
+/// argument boundness at that point is `literal_adornment`) are
+/// propagated to the literals after it.
+///
+/// Returning false *delays* the literal: subsequent literals are
+/// adorned as if its output variables were free. This is exactly the
+/// modified binding propagation rule of Algorithm 3.1 — an
+/// efficiency-based chain-split cuts propagation across a weak linkage,
+/// and a finiteness-based one across a non-evaluable functional
+/// predicate. The default gate (nullptr) always propagates
+/// (chain-following).
+using PropagationGate =
+    std::function<bool(const Atom& literal,
+                       const std::string& literal_adornment)>;
+
+/// Info about one adorned predicate.
+struct AdornedPredInfo {
+  PredId original = kNullPred;
+  std::string adornment;
+};
+
+/// One adorned rule plus, per body literal, whether its bindings were
+/// propagated onward. The magic transform's sideways slices follow
+/// propagating literals only, which is how a gated (chain-split)
+/// adornment keeps the weak linkage out of the magic rules.
+struct AdornedRule {
+  Rule rule;
+  std::vector<bool> propagates;
+};
+
+/// Result of adorning a program for a query call pattern.
+struct AdornedProgram {
+  /// Rules over adorned IDB predicates (`p__bf`); EDB predicates and
+  /// builtins keep their names.
+  std::vector<AdornedRule> rules;
+  /// The adorned predicate of the query.
+  PredId query_pred = kNullPred;
+  /// adorned pred -> original pred + adornment.
+  std::unordered_map<PredId, AdornedPredInfo> info;
+};
+
+/// Returns the adornment of `atom` given the currently bound variables:
+/// an argument is 'b' when it is ground or all of its variables are in
+/// `bound`.
+std::string AtomAdornment(const TermPool& pool, const Atom& atom,
+                          const std::vector<TermId>& bound);
+
+/// Adorns `rules` (typically the rectified rule set) for a call to
+/// `query_pred` with `adornment`, using a left-to-right sideways
+/// information passing strategy gated by `gate`. New adorned predicates
+/// are interned in the program's predicate table; a predicate is IDB
+/// iff it heads a rule in `rules`.
+StatusOr<AdornedProgram> AdornProgram(Program* program,
+                                      const std::vector<Rule>& rules,
+                                      PredId query_pred,
+                                      const std::string& adornment,
+                                      const PropagationGate& gate = nullptr);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_ENGINE_ADORNMENT_H_

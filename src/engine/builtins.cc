@@ -1,0 +1,199 @@
+#include "engine/builtins.h"
+
+#include "ast/builtin_names.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace chainsplit {
+
+BuiltinKind GetBuiltinKind(const PredicateTable& preds, PredId pred) {
+  const std::string& name = preds.name(pred);
+  int arity = preds.arity(pred);
+  if (arity == 2) {
+    if (name == kPredLt) return BuiltinKind::kLt;
+    if (name == kPredLe) return BuiltinKind::kLe;
+    if (name == kPredGt) return BuiltinKind::kGt;
+    if (name == kPredGe) return BuiltinKind::kGe;
+    if (name == kPredEq) return BuiltinKind::kEq;
+    if (name == kPredNe) return BuiltinKind::kNe;
+  }
+  if (arity == 3) {
+    if (name == kPredSum) return BuiltinKind::kSum;
+    if (name == kPredTimes) return BuiltinKind::kTimes;
+    if (name == kPredCons) return BuiltinKind::kCons;
+  }
+  if (StartsWith(name, "$mk_")) return BuiltinKind::kMkCompound;
+  return BuiltinKind::kNone;
+}
+
+bool IsBuiltinPred(const PredicateTable& preds, PredId pred) {
+  return GetBuiltinKind(preds, pred) != BuiltinKind::kNone;
+}
+
+std::string MkCompoundPredName(std::string_view functor) {
+  return StrCat("$mk_", functor);
+}
+
+std::string MkCompoundFunctor(std::string_view pred_name) {
+  CS_CHECK(StartsWith(pred_name, "$mk_")) << "not a constructor predicate";
+  return std::string(pred_name.substr(4));
+}
+
+bool BuiltinModeEvaluable(BuiltinKind kind, const std::vector<bool>& bound) {
+  switch (kind) {
+    case BuiltinKind::kNone:
+      return false;
+    case BuiltinKind::kLt:
+    case BuiltinKind::kLe:
+    case BuiltinKind::kGt:
+    case BuiltinKind::kGe:
+    case BuiltinKind::kNe:
+      return bound[0] && bound[1];
+    case BuiltinKind::kEq:
+      // Unification of two terms is always finitely evaluable: it never
+      // enumerates an infinite relation, it only binds.
+      return true;
+    case BuiltinKind::kSum:
+    case BuiltinKind::kTimes: {
+      int n = 0;
+      for (bool b : bound) n += b ? 1 : 0;
+      return n >= 2;
+    }
+    case BuiltinKind::kCons:
+      return (bound[0] && bound[1]) || bound[2];
+    case BuiltinKind::kMkCompound: {
+      bool all_inputs = true;
+      for (size_t i = 0; i + 1 < bound.size(); ++i) {
+        all_inputs = all_inputs && bound[i];
+      }
+      return all_inputs || bound.back();
+    }
+  }
+  return false;
+}
+
+namespace {
+
+Status NotEvaluable(const PredicateTable& preds, PredId pred) {
+  return NotFinitelyEvaluableError(
+      StrCat("builtin ", preds.Display(pred),
+             " called with an unsupported boundness pattern"));
+}
+
+/// Unifies `term` with the integer `value`, extending `*subst`.
+bool UnifyInt(TermPool& pool, TermId term, int64_t value,
+              Substitution* subst) {
+  return Unify(pool, term, pool.MakeInt(value), subst);
+}
+
+}  // namespace
+
+Status EvalBuiltin(TermPool& pool, const PredicateTable& preds, PredId pred,
+                   std::span<const TermId> args, Substitution* subst,
+                   bool* succeeded) {
+  BuiltinKind kind = GetBuiltinKind(preds, pred);
+  CS_CHECK(kind != BuiltinKind::kNone)
+      << "EvalBuiltin on non-builtin " << preds.Display(pred);
+  *succeeded = false;
+
+  // Resolve arguments under the current substitution.
+  std::vector<TermId> resolved;
+  resolved.reserve(args.size());
+  for (TermId a : args) resolved.push_back(subst->Resolve(a, pool));
+
+  switch (kind) {
+    case BuiltinKind::kNone:
+      break;
+    case BuiltinKind::kEq:
+      *succeeded = Unify(pool, resolved[0], resolved[1], subst);
+      return Status::Ok();
+    case BuiltinKind::kNe:
+      if (!pool.IsGround(resolved[0]) || !pool.IsGround(resolved[1])) {
+        return NotEvaluable(preds, pred);
+      }
+      *succeeded = resolved[0] != resolved[1];
+      return Status::Ok();
+    case BuiltinKind::kLt:
+    case BuiltinKind::kLe:
+    case BuiltinKind::kGt:
+    case BuiltinKind::kGe: {
+      if (!pool.IsGround(resolved[0]) || !pool.IsGround(resolved[1])) {
+        return NotEvaluable(preds, pred);
+      }
+      if (!pool.IsInt(resolved[0]) || !pool.IsInt(resolved[1])) {
+        // Comparison on non-integers: fail rather than error, matching
+        // the "typed EDB" assumption of the paper's examples.
+        return Status::Ok();
+      }
+      int64_t x = pool.int_value(resolved[0]);
+      int64_t y = pool.int_value(resolved[1]);
+      switch (kind) {
+        case BuiltinKind::kLt: *succeeded = x < y; break;
+        case BuiltinKind::kLe: *succeeded = x <= y; break;
+        case BuiltinKind::kGt: *succeeded = x > y; break;
+        case BuiltinKind::kGe: *succeeded = x >= y; break;
+        default: break;
+      }
+      return Status::Ok();
+    }
+    case BuiltinKind::kSum:
+    case BuiltinKind::kTimes: {
+      bool b0 = pool.IsInt(resolved[0]);
+      bool b1 = pool.IsInt(resolved[1]);
+      bool b2 = pool.IsInt(resolved[2]);
+      // Any ground non-int argument simply fails.
+      for (TermId t : resolved) {
+        if (pool.IsGround(t) && !pool.IsInt(t)) return Status::Ok();
+      }
+      int64_t x = b0 ? pool.int_value(resolved[0]) : 0;
+      int64_t y = b1 ? pool.int_value(resolved[1]) : 0;
+      int64_t z = b2 ? pool.int_value(resolved[2]) : 0;
+      if (kind == BuiltinKind::kSum) {
+        if (b0 && b1) {
+          *succeeded = UnifyInt(pool, resolved[2], x + y, subst);
+        } else if (b0 && b2) {
+          *succeeded = UnifyInt(pool, resolved[1], z - x, subst);
+        } else if (b1 && b2) {
+          *succeeded = UnifyInt(pool, resolved[0], z - y, subst);
+        } else {
+          return NotEvaluable(preds, pred);
+        }
+      } else {
+        if (b0 && b1) {
+          *succeeded = UnifyInt(pool, resolved[2], x * y, subst);
+        } else if (b0 && b2) {
+          if (x == 0 || z % x != 0) return Status::Ok();
+          *succeeded = UnifyInt(pool, resolved[1], z / x, subst);
+        } else if (b1 && b2) {
+          if (y == 0 || z % y != 0) return Status::Ok();
+          *succeeded = UnifyInt(pool, resolved[0], z / y, subst);
+        } else {
+          return NotEvaluable(preds, pred);
+        }
+      }
+      return Status::Ok();
+    }
+    case BuiltinKind::kCons: {
+      // cons(H, T, L) is the constraint L = '.'(H, T): pure unification,
+      // valid on non-ground arguments (the top-down evaluator relies on
+      // this). Bottom-up callers must consult BuiltinModeEvaluable first
+      // so derived tuples stay ground.
+      *succeeded =
+          Unify(pool, resolved[2], pool.MakeCons(resolved[0], resolved[1]),
+                subst);
+      return Status::Ok();
+    }
+    case BuiltinKind::kMkCompound: {
+      // $mk_f(X1..Xk, V) is the constraint V = f(X1..Xk); see kCons.
+      std::string functor = MkCompoundFunctor(preds.name(pred));
+      size_t k = resolved.size() - 1;
+      TermId built = pool.MakeCompound(
+          functor, std::span<const TermId>(resolved.data(), k));
+      *succeeded = Unify(pool, resolved[k], built, subst);
+      return Status::Ok();
+    }
+  }
+  return InternalError("unhandled builtin kind");
+}
+
+}  // namespace chainsplit

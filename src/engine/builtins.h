@@ -1,0 +1,72 @@
+#ifndef CHAINSPLIT_ENGINE_BUILTINS_H_
+#define CHAINSPLIT_ENGINE_BUILTINS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "term/term.h"
+#include "term/unify.h"
+
+namespace chainsplit {
+
+/// The builtin (evaluable) predicates: comparisons over integers, the
+/// functional predicates of §1.2 (`sum`, `times`, `cons`, and general
+/// term construction `$mk_f`), and unification `=`.
+///
+/// Builtins are *infinite relations*: they can only be evaluated under
+/// argument boundness patterns ("modes") that make the answer set
+/// finite. That restriction is the root cause of finiteness-based
+/// chain-split (§2.2): a chain generating path containing a builtin
+/// whose inputs are unbound in forward evaluation must be split.
+enum class BuiltinKind {
+  kNone = 0,   // not a builtin
+  kLt,         // <(X, Y)        requires X, Y bound
+  kLe,         // =<(X, Y)
+  kGt,         // >(X, Y)
+  kGe,         // >=(X, Y)
+  kEq,         // =(X, Y)        unification; always evaluable
+  kNe,         // \=(X, Y)       requires both sides ground
+  kSum,        // sum(X, Y, Z)   Z = X + Y; needs >= 2 of 3 bound
+  kTimes,      // times(X, Y, Z) Z = X * Y; needs >= 2 of 3 bound
+  kCons,       // cons(H, T, L)  L = [H|T]; needs (H and T) or L bound
+  kMkCompound, // $mk_f(X1..Xk, V)  V = f(X1..Xk); needs X* or V bound
+};
+
+/// Classifies `pred`; kNone for ordinary predicates.
+BuiltinKind GetBuiltinKind(const PredicateTable& preds, PredId pred);
+
+/// True when `pred` is any builtin.
+bool IsBuiltinPred(const PredicateTable& preds, PredId pred);
+
+/// Name of the generated constructor predicate for functor `f`
+/// ("$mk_" + f). Used by rule rectification.
+std::string MkCompoundPredName(std::string_view functor);
+
+/// Functor constructed by a kMkCompound predicate named `pred_name`.
+std::string MkCompoundFunctor(std::string_view pred_name);
+
+/// True when a builtin of `kind` with the given argument boundness is
+/// finitely evaluable. `bound[i]` tells whether argument i is bound at
+/// evaluation time. `arity` must match the builtin.
+bool BuiltinModeEvaluable(BuiltinKind kind, const std::vector<bool>& bound);
+
+/// Evaluates a builtin call. `args` are the call's argument terms,
+/// which are resolved against `*subst`. On a successful, satisfiable
+/// call, `*subst` is extended with output bindings and `*succeeded` is
+/// true; on an unsatisfiable call `*succeeded` is false. Returns
+/// NotFinitelyEvaluable when the boundness pattern is not a supported
+/// mode (the caller should have delayed the literal).
+///
+/// All builtins here are deterministic in their evaluable modes (at
+/// most one solution), which is what makes the "immediately evaluable
+/// portion" of a chain cheap to iterate.
+Status EvalBuiltin(TermPool& pool, const PredicateTable& preds, PredId pred,
+                   std::span<const TermId> args, Substitution* subst,
+                   bool* succeeded);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_ENGINE_BUILTINS_H_

@@ -1,0 +1,336 @@
+#include "engine/grounder.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "term/unify.h"
+
+namespace chainsplit {
+namespace {
+
+StatusOr<ArgPattern> CompileArg(const Program& program, TermId arg,
+                                const std::vector<TermId>& slot_vars) {
+  const TermPool& pool = program.pool();
+  ArgPattern pattern;
+  if (pool.IsVariable(arg)) {
+    auto it = std::find(slot_vars.begin(), slot_vars.end(), arg);
+    CS_CHECK(it != slot_vars.end()) << "variable missing from slot map";
+    pattern.is_slot = true;
+    pattern.slot = static_cast<int>(it - slot_vars.begin());
+    return pattern;
+  }
+  if (!pool.IsGround(arg)) {
+    return InvalidArgumentError(
+        StrCat("rule is not flat (non-ground compound argument ",
+               pool.ToString(arg), "); rectify it first"));
+  }
+  pattern.constant = arg;
+  return pattern;
+}
+
+/// True when the builtin literal is evaluable given currently bound
+/// slots. `=` needs one side bound to keep derived tuples ground.
+bool LiteralEvaluable(const CompiledLiteral& lit,
+                      const std::vector<bool>& slot_bound) {
+  std::vector<bool> bound(lit.args.size());
+  for (size_t i = 0; i < lit.args.size(); ++i) {
+    bound[i] = !lit.args[i].is_slot || slot_bound[lit.args[i].slot];
+  }
+  if (lit.builtin == BuiltinKind::kEq) {
+    return bound[0] || bound[1];
+  }
+  return BuiltinModeEvaluable(lit.builtin, bound);
+}
+
+int CountBoundArgs(const CompiledLiteral& lit,
+                   const std::vector<bool>& slot_bound) {
+  int n = 0;
+  for (const ArgPattern& a : lit.args) {
+    if (!a.is_slot || slot_bound[a.slot]) ++n;
+  }
+  return n;
+}
+
+void MarkBound(const CompiledLiteral& lit, std::vector<bool>* slot_bound) {
+  for (const ArgPattern& a : lit.args) {
+    if (a.is_slot) (*slot_bound)[a.slot] = true;
+  }
+}
+
+}  // namespace
+
+StatusOr<CompiledRule> CompileRule(const Program& program, const Rule& rule,
+                                   int first_literal,
+                                   const CardinalityEstimator& estimator) {
+  CompiledRule compiled;
+  compiled.source = rule;
+  compiled.head_pred = rule.head.pred;
+  compiled.slot_vars = program.RuleVariables(rule);
+
+  for (TermId arg : rule.head.args) {
+    CS_ASSIGN_OR_RETURN(ArgPattern p,
+                        CompileArg(program, arg, compiled.slot_vars));
+    compiled.head_args.push_back(p);
+  }
+  for (const Atom& atom : rule.body) {
+    CompiledLiteral lit;
+    lit.pred = atom.pred;
+    lit.builtin = GetBuiltinKind(program.preds(), atom.pred);
+    for (TermId arg : atom.args) {
+      CS_ASSIGN_OR_RETURN(ArgPattern p,
+                          CompileArg(program, arg, compiled.slot_vars));
+      lit.args.push_back(p);
+    }
+    compiled.body.push_back(std::move(lit));
+  }
+
+  // Greedy schedule: builtins as soon as they become evaluable (cheap
+  // deterministic filters), otherwise the relation literal with the
+  // most bound arguments (indexable probe). This is the engine-level
+  // finite-evaluability analysis: if it gets stuck, the rule cannot be
+  // evaluated bottom-up and needs chain-split first.
+  std::vector<bool> chosen(compiled.body.size(), false);
+  std::vector<bool> slot_bound(compiled.slot_vars.size(), false);
+
+  if (first_literal >= 0) {
+    CS_CHECK(first_literal < static_cast<int>(compiled.body.size()))
+        << "first_literal out of range";
+    const CompiledLiteral& lit = compiled.body[first_literal];
+    if (lit.builtin != BuiltinKind::kNone) {
+      return InvalidArgumentError(
+          "semi-naive delta literal must be a relation literal");
+    }
+    compiled.order.push_back(first_literal);
+    chosen[first_literal] = true;
+    MarkBound(lit, &slot_bound);
+  }
+
+  while (compiled.order.size() < compiled.body.size()) {
+    int pick = -1;
+    // Pass 1: evaluable builtins, in source order.
+    for (size_t i = 0; i < compiled.body.size(); ++i) {
+      if (chosen[i] || compiled.body[i].builtin == BuiltinKind::kNone) {
+        continue;
+      }
+      if (LiteralEvaluable(compiled.body[i], slot_bound)) {
+        pick = static_cast<int>(i);
+        break;
+      }
+    }
+    // Pass 2: cheapest relation literal — by estimated join expansion
+    // when statistics are available (access-path selection), else by
+    // the most bound arguments.
+    if (pick < 0) {
+      double best_cost = 0;
+      for (size_t i = 0; i < compiled.body.size(); ++i) {
+        if (chosen[i] || compiled.body[i].builtin != BuiltinKind::kNone) {
+          continue;
+        }
+        const CompiledLiteral& lit = compiled.body[i];
+        double cost;
+        if (estimator != nullptr) {
+          std::string adornment;
+          for (const ArgPattern& a : lit.args) {
+            adornment.push_back(!a.is_slot || slot_bound[a.slot] ? 'b'
+                                                                 : 'f');
+          }
+          cost = estimator(lit.pred, adornment);
+        } else {
+          cost = -static_cast<double>(CountBoundArgs(lit, slot_bound));
+        }
+        if (pick < 0 || cost < best_cost) {
+          best_cost = cost;
+          pick = static_cast<int>(i);
+        }
+      }
+    }
+    if (pick < 0) {
+      // Only unevaluable builtins remain.
+      for (size_t i = 0; i < compiled.body.size(); ++i) {
+        if (!chosen[i]) {
+          return NotFinitelyEvaluableError(StrCat(
+              "literal ", program.preds().Display(compiled.body[i].pred),
+              " in rule for ", program.preds().Display(rule.head.pred),
+              " is never evaluable bottom-up; chain-split required"));
+        }
+      }
+    }
+    compiled.order.push_back(pick);
+    chosen[pick] = true;
+    MarkBound(compiled.body[pick], &slot_bound);
+  }
+
+  for (const ArgPattern& p : compiled.head_args) {
+    if (p.is_slot && !slot_bound[p.slot]) {
+      return NotFinitelyEvaluableError(
+          StrCat("rule for ", program.preds().Display(rule.head.pred),
+                 " is not range-restricted: head variable ",
+                 program.pool().ToString(compiled.slot_vars[p.slot]),
+                 " is never bound"));
+    }
+  }
+  return compiled;
+}
+
+namespace {
+
+/// One bottom-up evaluation of a compiled rule: backtracking join over
+/// the scheduled literal order, carrying slot values.
+class RuleRun {
+ public:
+  RuleRun(TermPool& pool, const PredicateTable& preds,
+          const CompiledRule& rule, const RelationLookup& rel_for,
+          int delta_literal, const Relation* delta, Relation* out,
+          EvalCounters* counters)
+      : pool_(pool),
+        preds_(preds),
+        rule_(rule),
+        rel_for_(rel_for),
+        delta_literal_(delta_literal),
+        delta_(delta),
+        out_(out),
+        counters_(counters),
+        slots_(rule.slot_vars.size(), kNullTerm) {}
+
+  Status Run() { return Recurse(0); }
+
+ private:
+  TermId ArgValue(const ArgPattern& p) const {
+    return p.is_slot ? slots_[p.slot] : p.constant;
+  }
+
+  Status Recurse(size_t pos) {
+    if (pos == rule_.order.size()) return EmitHead();
+    const int lit_index = rule_.order[pos];
+    const CompiledLiteral& lit = rule_.body[lit_index];
+    if (lit.builtin != BuiltinKind::kNone) {
+      return EvalBuiltinLiteral(pos, lit);
+    }
+    return EvalRelationLiteral(pos, lit_index, lit);
+  }
+
+  Status EmitHead() {
+    Tuple tuple;
+    tuple.reserve(rule_.head_args.size());
+    for (const ArgPattern& p : rule_.head_args) {
+      TermId v = ArgValue(p);
+      CS_DCHECK(v != kNullTerm) << "unbound head slot at emission";
+      tuple.push_back(v);
+    }
+    ++counters_->derivations;
+    if (out_->Insert(tuple)) ++counters_->inserted;
+    return Status::Ok();
+  }
+
+  Status EvalBuiltinLiteral(size_t pos, const CompiledLiteral& lit) {
+    ++counters_->builtin_calls;
+    // Bound arguments are passed as their ground values; unbound ones as
+    // the rule's variable terms, whose bindings we read back.
+    std::vector<TermId> args;
+    args.reserve(lit.args.size());
+    std::vector<int> unbound_slots;
+    for (const ArgPattern& p : lit.args) {
+      TermId v = ArgValue(p);
+      if (v != kNullTerm) {
+        args.push_back(v);
+      } else {
+        args.push_back(rule_.slot_vars[p.slot]);
+        unbound_slots.push_back(p.slot);
+      }
+    }
+    Substitution subst;
+    bool ok = false;
+    CS_RETURN_IF_ERROR(
+        EvalBuiltin(pool_, preds_, lit.pred, args, &subst, &ok));
+    if (!ok) return Status::Ok();
+    std::vector<int> bound_here;
+    for (int slot : unbound_slots) {
+      if (slots_[slot] != kNullTerm) continue;  // repeated variable
+      TermId value = subst.Resolve(rule_.slot_vars[slot], pool_);
+      if (!pool_.IsGround(value)) {
+        return NotFinitelyEvaluableError(
+            StrCat("builtin ", preds_.Display(lit.pred),
+                   " produced a non-ground value bottom-up"));
+      }
+      slots_[slot] = value;
+      bound_here.push_back(slot);
+    }
+    Status status = Recurse(pos + 1);
+    for (int slot : bound_here) slots_[slot] = kNullTerm;
+    return status;
+  }
+
+  Status EvalRelationLiteral(size_t pos, int lit_index,
+                             const CompiledLiteral& lit) {
+    const Relation* rel =
+        lit_index == delta_literal_ ? delta_ : rel_for_(lit.pred);
+    if (rel == nullptr || rel->empty()) return Status::Ok();
+
+    // Probe on the bound columns when there are any.
+    std::vector<int> bound_columns;
+    Tuple key;
+    for (size_t c = 0; c < lit.args.size(); ++c) {
+      TermId v = ArgValue(lit.args[c]);
+      if (v != kNullTerm) {
+        bound_columns.push_back(static_cast<int>(c));
+        key.push_back(v);
+      }
+    }
+
+    auto try_row = [&](const Tuple& row) -> Status {
+      ++counters_->tuples_considered;
+      std::vector<int> bound_here;
+      bool match = true;
+      for (size_t c = 0; c < lit.args.size(); ++c) {
+        const ArgPattern& p = lit.args[c];
+        TermId v = ArgValue(p);
+        if (v != kNullTerm) {
+          if (v != row[c]) {
+            match = false;
+            break;
+          }
+        } else {
+          slots_[p.slot] = row[c];
+          bound_here.push_back(p.slot);
+        }
+      }
+      Status status = match ? Recurse(pos + 1) : Status::Ok();
+      for (int slot : bound_here) slots_[slot] = kNullTerm;
+      return status;
+    };
+
+    if (bound_columns.empty()) {
+      for (int64_t i = 0; i < rel->num_rows(); ++i) {
+        CS_RETURN_IF_ERROR(try_row(rel->row(i)));
+      }
+    } else {
+      for (int64_t i : rel->Probe(bound_columns, key)) {
+        CS_RETURN_IF_ERROR(try_row(rel->row(i)));
+      }
+    }
+    return Status::Ok();
+  }
+
+  TermPool& pool_;
+  const PredicateTable& preds_;
+  const CompiledRule& rule_;
+  const RelationLookup& rel_for_;
+  int delta_literal_;
+  const Relation* delta_;
+  Relation* out_;
+  EvalCounters* counters_;
+  std::vector<TermId> slots_;
+};
+
+}  // namespace
+
+Status EvaluateRule(TermPool& pool, const PredicateTable& preds,
+                    const CompiledRule& rule, const RelationLookup& rel_for,
+                    int delta_literal, const Relation* delta, Relation* out,
+                    EvalCounters* counters) {
+  RuleRun run(pool, preds, rule, rel_for, delta_literal, delta, out,
+              counters);
+  return run.Run();
+}
+
+}  // namespace chainsplit

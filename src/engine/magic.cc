@@ -1,0 +1,125 @@
+#include "engine/magic.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace chainsplit {
+namespace {
+
+bool SharesVariable(const std::vector<TermId>& a,
+                    const std::vector<TermId>& b) {
+  for (TermId v : a) {
+    if (std::find(b.begin(), b.end(), v) != b.end()) return true;
+  }
+  return false;
+}
+
+void AddAll(const std::vector<TermId>& from, std::vector<TermId>* to) {
+  for (TermId v : from) {
+    if (std::find(to->begin(), to->end(), v) == to->end()) to->push_back(v);
+  }
+}
+
+}  // namespace
+
+StatusOr<MagicProgram> MagicTransform(Program* program,
+                                      const AdornedProgram& adorned,
+                                      const Atom& query) {
+  TermPool& pool = program->pool();
+  PredicateTable& preds = program->preds();
+  MagicProgram magic;
+  magic.answer_pred = adorned.query_pred;
+
+  // Interns the magic predicate of an adorned predicate.
+  auto magic_pred = [&](PredId adorned_pred) -> PredId {
+    auto it = magic.magic_of.find(adorned_pred);
+    if (it != magic.magic_of.end()) return it->second;
+    const AdornedPredInfo& info = adorned.info.at(adorned_pred);
+    int bound_count =
+        static_cast<int>(std::count(info.adornment.begin(),
+                                    info.adornment.end(), 'b'));
+    PredId m = preds.Intern(StrCat("m_", preds.name(adorned_pred)),
+                            bound_count);
+    magic.magic_of.emplace(adorned_pred, m);
+    return m;
+  };
+
+  // Magic literal m_p(bound args of `atom`) for adorned pred `atom.pred`.
+  auto magic_literal = [&](const Atom& atom) -> Atom {
+    const AdornedPredInfo& info = adorned.info.at(atom.pred);
+    Atom m;
+    m.pred = magic_pred(atom.pred);
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (info.adornment[i] == 'b') m.args.push_back(atom.args[i]);
+    }
+    return m;
+  };
+
+  for (const AdornedRule& ar : adorned.rules) {
+    const Rule& rule = ar.rule;
+    // Modified answer rule: guard the original body with the head's
+    // magic literal.
+    Rule answer_rule;
+    answer_rule.head = rule.head;
+    answer_rule.body.push_back(magic_literal(rule.head));
+    for (const Atom& literal : rule.body) answer_rule.body.push_back(literal);
+    magic.rules.push_back(std::move(answer_rule));
+
+    // Variable sets per literal, computed once.
+    std::vector<std::vector<TermId>> literal_vars(rule.body.size());
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      CollectAtomVariables(pool, rule.body[i], &literal_vars[i]);
+    }
+
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Atom& call = rule.body[i];
+      if (adorned.info.find(call.pred) == adorned.info.end()) continue;
+      const AdornedPredInfo& info = adorned.info.at(call.pred);
+
+      Rule magic_rule;
+      magic_rule.head = magic_literal(call);
+
+      // Backward slice over propagating literals connected to the bound
+      // arguments of the call.
+      std::vector<TermId> needed;
+      for (size_t a = 0; a < call.args.size(); ++a) {
+        if (info.adornment[a] == 'b') {
+          pool.CollectVariables(call.args[a], &needed);
+        }
+      }
+      std::vector<bool> in_slice(i, false);
+      for (size_t j = i; j-- > 0;) {
+        if (!ar.propagates[j]) continue;
+        if (SharesVariable(literal_vars[j], needed)) {
+          in_slice[j] = true;
+          AddAll(literal_vars[j], &needed);
+        }
+      }
+      magic_rule.body.push_back(magic_literal(rule.head));
+      for (size_t j = 0; j < i; ++j) {
+        if (in_slice[j]) magic_rule.body.push_back(rule.body[j]);
+      }
+      magic.rules.push_back(std::move(magic_rule));
+    }
+  }
+
+  // Seed: the magic fact of the query call.
+  const AdornedPredInfo& qinfo = adorned.info.at(adorned.query_pred);
+  Atom seed;
+  seed.pred = magic_pred(adorned.query_pred);
+  for (size_t i = 0; i < query.args.size(); ++i) {
+    if (qinfo.adornment[i] == 'b') {
+      if (!pool.IsGround(query.args[i])) {
+        return InvalidArgumentError(
+            StrCat("query argument ", i, " must be ground for adornment ",
+                   qinfo.adornment));
+      }
+      seed.args.push_back(query.args[i]);
+    }
+  }
+  magic.seeds.push_back(std::move(seed));
+  return magic;
+}
+
+}  // namespace chainsplit

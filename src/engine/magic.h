@@ -1,0 +1,50 @@
+#ifndef CHAINSPLIT_ENGINE_MAGIC_H_
+#define CHAINSPLIT_ENGINE_MAGIC_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "engine/adornment.h"
+
+namespace chainsplit {
+
+/// Result of the magic sets transformation of an adorned program.
+///
+/// Evaluation protocol: insert `seeds` into the database, run
+/// SemiNaiveEvaluate over `rules`, then read the query answers from the
+/// relation of `answer_pred`.
+struct MagicProgram {
+  std::vector<Rule> rules;  // magic rules + modified answer rules
+  std::vector<Atom> seeds;  // ground magic facts derived from the query
+  PredId answer_pred = kNullPred;
+  /// adorned predicate -> its magic predicate.
+  std::unordered_map<PredId, PredId> magic_of;
+};
+
+/// Magic sets transformation (generalized magic sets with sideways
+/// slices), supporting the gated adornments of Algorithm 3.1.
+///
+/// For every adorned rule `H :- B1..Bn` it produces the modified rule
+/// `H :- m_H(bound(H)), B1..Bn`, and for every adorned IDB body literal
+/// `Bi` the magic rule
+///
+///   m_Bi(bound(Bi)) :- m_H(bound(H)), <slice>,
+///
+/// where <slice> is the set of *propagating* body literals B1..Bi-1
+/// transitively connected to the bound arguments of Bi. Literals whose
+/// bindings were gated off (the chain-split) never enter a slice, so a
+/// split recursion's magic set iterates on the strong linkage only —
+/// dropping literals from a magic body only enlarges the magic set, so
+/// the transformation stays sound for any gate.
+///
+/// `query` is the original query atom; its ground arguments must be at
+/// the 'b' positions of the adornment used to build `adorned`.
+StatusOr<MagicProgram> MagicTransform(Program* program,
+                                      const AdornedProgram& adorned,
+                                      const Atom& query);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_ENGINE_MAGIC_H_

@@ -1,0 +1,127 @@
+#include "engine/seminaive.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace chainsplit {
+namespace {
+
+/// A rule compiled together with its semi-naive delta variants: one
+/// compiled form per IDB body literal, scheduled to start from that
+/// literal's delta relation.
+struct RuleVariants {
+  CompiledRule base;                     // no delta (initialization round)
+  std::vector<int> idb_literals;         // body indexes with IDB predicates
+  std::vector<CompiledRule> delta_form;  // parallel to idb_literals
+};
+
+}  // namespace
+
+Status SemiNaiveEvaluate(Database* db, const std::vector<Rule>& rules,
+                         const SemiNaiveOptions& options,
+                         SemiNaiveStats* stats) {
+  *stats = SemiNaiveStats{};
+  Program& program = db->program();
+
+  std::unordered_set<PredId> idb;
+  for (const Rule& rule : rules) idb.insert(rule.head.pred);
+
+  std::vector<RuleVariants> compiled;
+  compiled.reserve(rules.size());
+  for (const Rule& rule : rules) {
+    RuleVariants variants;
+    CS_ASSIGN_OR_RETURN(variants.base,
+                        CompileRule(program, rule, -1, options.estimator));
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (idb.count(rule.body[i].pred) == 0) continue;
+      variants.idb_literals.push_back(static_cast<int>(i));
+      CS_ASSIGN_OR_RETURN(
+          CompiledRule delta_rule,
+          CompileRule(program, rule, static_cast<int>(i),
+                      options.estimator));
+      variants.delta_form.push_back(std::move(delta_rule));
+    }
+    compiled.push_back(std::move(variants));
+  }
+
+  RelationLookup rel_for = [db](PredId pred) -> const Relation* {
+    return db->GetRelation(pred);
+  };
+
+  // Per-IDB-predicate delta relations. After the initialization round a
+  // predicate's delta is everything it currently contains (pre-seeded
+  // tuples included: downstream rules have never consumed them).
+  std::unordered_map<PredId, Relation> delta;
+  std::unordered_map<PredId, Relation> next_delta;
+  for (PredId pred : idb) {
+    delta.emplace(pred, Relation(program.preds().arity(pred)));
+    next_delta.emplace(pred, Relation(program.preds().arity(pred)));
+  }
+
+  // Initialization round: every rule once against the full relations.
+  for (const RuleVariants& variants : compiled) {
+    Relation scratch(program.preds().arity(variants.base.head_pred));
+    CS_RETURN_IF_ERROR(EvaluateRule(db->pool(), program.preds(),
+                                    variants.base, rel_for,
+                                    /*delta_literal=*/-1, nullptr, &scratch,
+                                    &stats->counters));
+    Relation* total = db->GetOrCreateRelation(variants.base.head_pred);
+    for (int64_t i = 0; i < scratch.num_rows(); ++i) {
+      if (total->Insert(scratch.row(i))) ++stats->total_derived;
+    }
+  }
+  for (PredId pred : idb) {
+    const Relation* total = db->GetRelation(pred);
+    if (total != nullptr) delta.at(pred).UnionWith(*total);
+  }
+
+  while (true) {
+    bool any_delta = false;
+    for (const auto& [pred, rel] : delta) any_delta |= !rel.empty();
+    if (!any_delta) break;
+    if (++stats->iterations > options.max_iterations) {
+      return ResourceExhaustedError(
+          StrCat("fixpoint did not converge within ", options.max_iterations,
+                 " iterations"));
+    }
+
+    for (auto& [pred, rel] : next_delta) rel.Clear();
+
+    for (const RuleVariants& variants : compiled) {
+      Relation scratch(program.preds().arity(variants.base.head_pred));
+      if (options.naive) {
+        CS_RETURN_IF_ERROR(EvaluateRule(
+            db->pool(), program.preds(), variants.base, rel_for,
+            /*delta_literal=*/-1, nullptr, &scratch, &stats->counters));
+      } else {
+        for (size_t v = 0; v < variants.idb_literals.size(); ++v) {
+          int lit = variants.idb_literals[v];
+          const Relation& d =
+              delta.at(variants.base.source.body[lit].pred);
+          if (d.empty()) continue;
+          CS_RETURN_IF_ERROR(EvaluateRule(
+              db->pool(), program.preds(), variants.delta_form[v], rel_for,
+              lit, &d, &scratch, &stats->counters));
+        }
+      }
+      Relation* total = db->GetOrCreateRelation(variants.base.head_pred);
+      Relation& nd = next_delta.at(variants.base.head_pred);
+      for (int64_t i = 0; i < scratch.num_rows(); ++i) {
+        if (total->Insert(scratch.row(i))) {
+          ++stats->total_derived;
+          nd.Insert(scratch.row(i));
+        }
+      }
+    }
+    if (stats->total_derived > options.max_tuples) {
+      return ResourceExhaustedError(
+          StrCat("derived more than ", options.max_tuples, " tuples"));
+    }
+    std::swap(delta, next_delta);
+  }
+  return Status::Ok();
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,184 @@
+#include "engine/topdown.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "engine/builtins.h"
+#include "rel/relation.h"
+
+namespace chainsplit {
+
+/// One Solve() call: goal stack + substitution with trail-based
+/// backtracking.
+class TopDownEvaluator::Impl {
+ public:
+  Impl(Database* db, const TopDownOptions& options, TopDownStats* stats,
+       const std::function<void(const Substitution&)>& on_solution)
+      : db_(db),
+        pool_(db->pool()),
+        preds_(db->program().preds()),
+        options_(options),
+        stats_(stats),
+        on_solution_(on_solution) {}
+
+  Status Run(const std::vector<Atom>& goals) {
+    // The stack holds pending goals, top = next to prove.
+    for (size_t i = goals.size(); i-- > 0;) stack_.push_back(goals[i]);
+    return Prove();
+  }
+
+ private:
+  bool Done() const { return stats_->solutions >= options_.max_solutions; }
+
+  Status Prove() {
+    if (Done()) return Status::Ok();
+    if (stack_.empty()) {
+      ++stats_->solutions;
+      on_solution_(subst_);
+      return Status::Ok();
+    }
+    if (++stats_->steps > options_.max_steps) {
+      return ResourceExhaustedError(
+          StrCat("top-down evaluation exceeded ", options_.max_steps,
+                 " goal expansions"));
+    }
+    stats_->deepest =
+        std::max(stats_->deepest, static_cast<int64_t>(stack_.size()));
+    if (static_cast<int64_t>(stack_.size()) > options_.max_depth) {
+      return ResourceExhaustedError(
+          StrCat("top-down goal stack exceeded depth ", options_.max_depth,
+                 " (non-terminating recursion?)"));
+    }
+
+    Atom goal = stack_.back();
+    stack_.pop_back();
+
+    Status status = Status::Ok();
+    if (IsBuiltinPred(preds_, goal.pred)) {
+      status = ProveBuiltin(goal);
+    } else {
+      status = ProveFacts(goal);
+      if (status.ok()) status = ProveRules(goal);
+    }
+    stack_.push_back(std::move(goal));
+    return status;
+  }
+
+  Status ProveBuiltin(const Atom& goal) {
+    size_t mark = subst_.LogSize();
+    bool ok = false;
+    CS_RETURN_IF_ERROR(
+        EvalBuiltin(pool_, preds_, goal.pred, goal.args, &subst_, &ok));
+    Status status = ok ? Prove() : Status::Ok();
+    subst_.RollbackTo(mark);
+    return status;
+  }
+
+  Status ProveFacts(const Atom& goal) {
+    const Relation* rel = db_->GetRelation(goal.pred);
+    if (rel == nullptr || rel->empty()) return Status::Ok();
+
+    // Probe on the columns whose resolved goal argument is ground.
+    std::vector<int> bound_columns;
+    Tuple key;
+    std::vector<TermId> resolved(goal.args.size());
+    for (size_t c = 0; c < goal.args.size(); ++c) {
+      resolved[c] = subst_.Resolve(goal.args[c], pool_);
+      if (pool_.IsGround(resolved[c])) {
+        bound_columns.push_back(static_cast<int>(c));
+        key.push_back(resolved[c]);
+      }
+    }
+
+    auto try_row = [&](const Tuple& row) -> Status {
+      size_t mark = subst_.LogSize();
+      bool ok = true;
+      for (size_t c = 0; c < row.size() && ok; ++c) {
+        ok = Unify(pool_, resolved[c], row[c], &subst_);
+      }
+      Status status = ok ? Prove() : Status::Ok();
+      subst_.RollbackTo(mark);
+      return status;
+    };
+
+    if (bound_columns.empty()) {
+      for (int64_t i = 0; i < rel->num_rows() && !Done(); ++i) {
+        CS_RETURN_IF_ERROR(try_row(rel->row(i)));
+      }
+    } else {
+      for (int64_t i : rel->Probe(bound_columns, key)) {
+        if (Done()) break;
+        CS_RETURN_IF_ERROR(try_row(rel->row(i)));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ProveRules(const Atom& goal) {
+    for (const Rule* rule : db_->program().RulesFor(goal.pred)) {
+      if (Done()) break;
+      size_t mark = subst_.LogSize();
+      // Standardize the rule apart.
+      std::unordered_map<TermId, TermId> renaming;
+      bool ok = true;
+      for (size_t a = 0; a < goal.args.size() && ok; ++a) {
+        TermId head_arg = RenameApart(pool_, rule->head.args[a], &renaming);
+        ok = Unify(pool_, goal.args[a], head_arg, &subst_);
+      }
+      if (ok) {
+        size_t stack_base = stack_.size();
+        for (size_t b = rule->body.size(); b-- > 0;) {
+          Atom renamed = rule->body[b];
+          for (TermId& arg : renamed.args) {
+            arg = RenameApart(pool_, arg, &renaming);
+          }
+          stack_.push_back(std::move(renamed));
+        }
+        Status status = Prove();
+        stack_.resize(stack_base);
+        subst_.RollbackTo(mark);
+        CS_RETURN_IF_ERROR(status);
+      } else {
+        subst_.RollbackTo(mark);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Database* db_;
+  TermPool& pool_;
+  const PredicateTable& preds_;
+  const TopDownOptions& options_;
+  TopDownStats* stats_;
+  const std::function<void(const Substitution&)>& on_solution_;
+  std::vector<Atom> stack_;
+  Substitution subst_;
+};
+
+TopDownEvaluator::TopDownEvaluator(Database* db, TopDownOptions options)
+    : db_(db), options_(options) {}
+
+Status TopDownEvaluator::Solve(
+    const std::vector<Atom>& goals,
+    const std::function<void(const Substitution&)>& on_solution) {
+  Impl impl(db_, options_, &stats_, on_solution);
+  return impl.Run(goals);
+}
+
+StatusOr<std::vector<std::vector<TermId>>> TopDownEvaluator::Answers(
+    const std::vector<Atom>& goals, const std::vector<TermId>& vars) {
+  std::vector<std::vector<TermId>> answers;
+  std::unordered_set<Tuple, TupleHash> seen;
+  TermPool& pool = db_->pool();
+  Status status = Solve(goals, [&](const Substitution& subst) {
+    std::vector<TermId> row;
+    row.reserve(vars.size());
+    for (TermId v : vars) row.push_back(subst.Resolve(v, pool));
+    if (seen.insert(row).second) answers.push_back(std::move(row));
+  });
+  CS_RETURN_IF_ERROR(status);
+  return answers;
+}
+
+}  // namespace chainsplit

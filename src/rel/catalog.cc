@@ -1,0 +1,75 @@
+#include "rel/catalog.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace chainsplit {
+
+RelationStats ComputeStats(const Relation& relation) {
+  RelationStats stats;
+  stats.cardinality = relation.size();
+  stats.distinct.assign(relation.arity(), 0);
+  std::vector<std::unordered_set<TermId>> seen(relation.arity());
+  for (int64_t i = 0; i < relation.num_rows(); ++i) {
+    const Tuple& t = relation.row(i);
+    for (int c = 0; c < relation.arity(); ++c) seen[c].insert(t[c]);
+  }
+  for (int c = 0; c < relation.arity(); ++c) {
+    stats.distinct[c] = static_cast<int64_t>(seen[c].size());
+  }
+  return stats;
+}
+
+Relation* Database::GetOrCreateRelation(PredId pred) {
+  auto it = relations_.find(pred);
+  if (it != relations_.end()) return &it->second;
+  auto [inserted, ok] =
+      relations_.emplace(pred, Relation(program_.preds().arity(pred)));
+  return &inserted->second;
+}
+
+const Relation* Database::GetRelation(PredId pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Status Database::LoadProgramFacts() {
+  for (const Atom& fact : program_.facts()) {
+    if (!IsGroundAtom(pool_, fact)) {
+      return InvalidArgumentError(
+          StrCat("non-ground fact for ", program_.preds().Display(fact.pred)));
+    }
+    GetOrCreateRelation(fact.pred)->Insert(fact.args);
+  }
+  return Status::Ok();
+}
+
+bool Database::InsertFact(PredId pred, const Tuple& tuple) {
+  return GetOrCreateRelation(pred)->Insert(tuple);
+}
+
+const RelationStats& Database::Stats(PredId pred) {
+  CachedStats& cached = stats_[pred];
+  const Relation* relation = GetRelation(pred);
+  int64_t size = relation == nullptr ? 0 : relation->size();
+  if (cached.at_size != size) {
+    if (relation == nullptr) {
+      cached.stats = RelationStats{};
+      cached.stats.distinct.assign(program_.preds().arity(pred), 0);
+    } else {
+      cached.stats = ComputeStats(*relation);
+    }
+    cached.at_size = size;
+  }
+  return cached.stats;
+}
+
+std::vector<PredId> Database::StoredPredicates() const {
+  std::vector<PredId> preds;
+  preds.reserve(relations_.size());
+  for (const auto& [pred, relation] : relations_) preds.push_back(pred);
+  return preds;
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,87 @@
+#ifndef CHAINSPLIT_REL_CATALOG_H_
+#define CHAINSPLIT_REL_CATALOG_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "rel/relation.h"
+
+namespace chainsplit {
+
+/// Per-relation statistics used by the chain-split cost model (§2.1 of
+/// the paper): cardinality and per-column distinct-value counts, from
+/// which selectivities and join expansion ratios are derived.
+struct RelationStats {
+  int64_t cardinality = 0;
+  std::vector<int64_t> distinct;  // one entry per column
+
+  /// Average number of tuples sharing one value of `column`
+  /// (cardinality / distinct). This is the per-column fan-out used in
+  /// the join expansion ratio. Returns 0 for an empty relation.
+  double FanOut(int column) const {
+    if (cardinality == 0) return 0.0;
+    return static_cast<double>(cardinality) /
+           static_cast<double>(distinct[column]);
+  }
+};
+
+/// Computes exact statistics for `relation` by one scan.
+RelationStats ComputeStats(const Relation& relation);
+
+/// The deductive database of the paper's model: an EDB (relations), an
+/// IDB (the Program's rules) and a term universe, sharing one TermPool
+/// so relation values and rule constants are the same interned terms.
+///
+/// Typical use:
+///   Database db;
+///   CS_RETURN_IF_ERROR(ParseProgram(source, &db.program()));
+///   CS_RETURN_IF_ERROR(db.LoadProgramFacts());
+class Database {
+ public:
+  Database() : program_(&pool_) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  TermPool& pool() { return pool_; }
+  const TermPool& pool() const { return pool_; }
+  Program& program() { return program_; }
+  const Program& program() const { return program_; }
+
+  /// Relation for `pred`, created (empty, with the predicate's arity)
+  /// on first access.
+  Relation* GetOrCreateRelation(PredId pred);
+
+  /// Relation for `pred`, or nullptr when no facts were ever stored.
+  const Relation* GetRelation(PredId pred) const;
+
+  /// Moves every fact of program() into its EDB relation. Non-ground
+  /// facts are impossible (the parser classifies them as rules).
+  Status LoadProgramFacts();
+
+  /// Inserts one fact tuple for `pred`. Returns true when new.
+  bool InsertFact(PredId pred, const Tuple& tuple);
+
+  /// Cached statistics for `pred` (recomputed when the relation grew).
+  const RelationStats& Stats(PredId pred);
+
+  /// Predicates that currently have an EDB relation.
+  std::vector<PredId> StoredPredicates() const;
+
+ private:
+  struct CachedStats {
+    int64_t at_size = -1;
+    RelationStats stats;
+  };
+
+  TermPool pool_;
+  Program program_;
+  std::unordered_map<PredId, Relation> relations_;
+  std::unordered_map<PredId, CachedStats> stats_;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_REL_CATALOG_H_

@@ -1,0 +1,88 @@
+#include "rel/csv.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace chainsplit {
+namespace {
+
+bool IsIntegerField(std::string_view field) {
+  if (field.empty()) return false;
+  size_t start = field[0] == '-' ? 1 : 0;
+  if (start == field.size()) return false;
+  for (size_t i = start; i < field.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(field[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<int64_t> LoadFactsFromString(Database* db, PredId pred,
+                                      std::string_view text,
+                                      const CsvOptions& options) {
+  const int arity = db->program().preds().arity(pred);
+  Relation* relation = db->GetOrCreateRelation(pred);
+  TermPool& pool = db->pool();
+
+  int64_t inserted = 0;
+  int line_number = 0;
+  for (std::string_view line_raw : StrSplit(text, '\n')) {
+    ++line_number;
+    std::string line(line_raw);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = StrSplit(line, options.delimiter);
+    if (static_cast<int>(fields.size()) != arity) {
+      return InvalidArgumentError(
+          StrCat("line ", line_number, ": expected ", arity, " fields for ",
+                 db->program().preds().Display(pred), ", got ",
+                 fields.size()));
+    }
+    Tuple tuple;
+    tuple.reserve(fields.size());
+    for (const std::string& field : fields) {
+      if (IsIntegerField(field)) {
+        tuple.push_back(pool.MakeInt(std::stoll(field)));
+      } else {
+        tuple.push_back(pool.MakeSymbol(field));
+      }
+    }
+    if (relation->Insert(tuple)) ++inserted;
+  }
+  return inserted;
+}
+
+StatusOr<int64_t> LoadFactsFromFile(Database* db, PredId pred,
+                                    std::string_view path,
+                                    const CsvOptions& options) {
+  std::ifstream in{std::string(path)};
+  if (!in) {
+    return NotFoundError(StrCat("cannot open ", path));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadFactsFromString(db, pred, buffer.str(), options);
+}
+
+StatusOr<std::string> DumpFactsToString(const Database& db, PredId pred,
+                                        const CsvOptions& options) {
+  const Relation* relation = db.GetRelation(pred);
+  std::string out;
+  if (relation == nullptr) return out;
+  const TermPool& pool = db.pool();
+  for (int64_t i = 0; i < relation->num_rows(); ++i) {
+    const Tuple& t = relation->row(i);
+    for (size_t c = 0; c < t.size(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      out += pool.ToString(t[c]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace chainsplit

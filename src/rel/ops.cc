@@ -1,0 +1,93 @@
+#include "rel/ops.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace chainsplit {
+
+void HashJoin(const Relation& left, const Relation& right,
+              const std::vector<JoinKey>& keys,
+              const std::vector<int>& output_columns, Relation* out) {
+  const int left_arity = left.arity();
+  Tuple combined(left_arity + right.arity());
+  Tuple result(output_columns.size());
+
+  auto emit = [&](const Tuple& l, const Tuple& r) {
+    std::copy(l.begin(), l.end(), combined.begin());
+    std::copy(r.begin(), r.end(), combined.begin() + left_arity);
+    for (size_t i = 0; i < output_columns.size(); ++i) {
+      result[i] = combined[output_columns[i]];
+    }
+    out->Insert(result);
+  };
+
+  if (keys.empty()) {
+    // Cross product.
+    for (int64_t i = 0; i < left.num_rows(); ++i) {
+      for (int64_t j = 0; j < right.num_rows(); ++j) {
+        emit(left.row(i), right.row(j));
+      }
+    }
+    return;
+  }
+
+  std::vector<int> right_columns;
+  right_columns.reserve(keys.size());
+  for (const JoinKey& k : keys) right_columns.push_back(k.right_column);
+  // Probe requires sorted columns; sort keys jointly so left/right stay
+  // aligned.
+  std::vector<JoinKey> sorted_keys = keys;
+  std::sort(sorted_keys.begin(), sorted_keys.end(),
+            [](const JoinKey& a, const JoinKey& b) {
+              return a.right_column < b.right_column;
+            });
+  right_columns.clear();
+  for (const JoinKey& k : sorted_keys) right_columns.push_back(k.right_column);
+
+  Tuple key(sorted_keys.size());
+  for (int64_t i = 0; i < left.num_rows(); ++i) {
+    const Tuple& l = left.row(i);
+    for (size_t k = 0; k < sorted_keys.size(); ++k) {
+      key[k] = l[sorted_keys[k].left_column];
+    }
+    for (int64_t j : right.Probe(right_columns, key)) {
+      emit(l, right.row(j));
+    }
+  }
+}
+
+void Select(const Relation& in,
+            const std::function<bool(const Tuple&)>& predicate,
+            Relation* out) {
+  for (int64_t i = 0; i < in.num_rows(); ++i) {
+    if (predicate(in.row(i))) out->Insert(in.row(i));
+  }
+}
+
+void Project(const Relation& in, const std::vector<int>& columns,
+             Relation* out) {
+  Tuple result(columns.size());
+  for (int64_t i = 0; i < in.num_rows(); ++i) {
+    const Tuple& t = in.row(i);
+    for (size_t c = 0; c < columns.size(); ++c) result[c] = t[columns[c]];
+    out->Insert(result);
+  }
+}
+
+void Difference(const Relation& a, const Relation& b, Relation* out) {
+  CS_DCHECK(a.arity() == b.arity()) << "Difference arity mismatch";
+  for (int64_t i = 0; i < a.num_rows(); ++i) {
+    if (!b.Contains(a.row(i))) out->Insert(a.row(i));
+  }
+}
+
+bool SameTuples(const Relation& a, const Relation& b) {
+  if (a.size() != b.size() || a.arity() != b.arity()) return false;
+  for (int64_t i = 0; i < a.num_rows(); ++i) {
+    if (!b.Contains(a.row(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace chainsplit

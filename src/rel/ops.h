@@ -1,0 +1,44 @@
+#ifndef CHAINSPLIT_REL_OPS_H_
+#define CHAINSPLIT_REL_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "rel/relation.h"
+
+namespace chainsplit {
+
+/// Column-pair equality condition for a join: left column == right
+/// column.
+struct JoinKey {
+  int left_column;
+  int right_column;
+};
+
+/// Hash join of `left` and `right` on `keys`. The output tuple is the
+/// concatenation of the left tuple and the right tuple, projected to
+/// `output_columns` (indexes into that concatenation). With empty
+/// `keys` this is a cross product — the degenerate plan the paper warns
+/// about when merging unshared chains (§1.1); benchmark E8 measures it.
+void HashJoin(const Relation& left, const Relation& right,
+              const std::vector<JoinKey>& keys,
+              const std::vector<int>& output_columns, Relation* out);
+
+/// Copies the tuples of `in` satisfying `predicate` into `*out`.
+void Select(const Relation& in, const std::function<bool(const Tuple&)>& predicate,
+            Relation* out);
+
+/// Projects `in` onto `columns` (duplicates removed by Relation).
+void Project(const Relation& in, const std::vector<int>& columns,
+             Relation* out);
+
+/// Inserts into `*out` the tuples of `a` that are not in `b` (the
+/// semi-naive delta step). `a` and `b` must have equal arity.
+void Difference(const Relation& a, const Relation& b, Relation* out);
+
+/// True when `a` and `b` contain exactly the same tuples.
+bool SameTuples(const Relation& a, const Relation& b);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_REL_OPS_H_

@@ -1,0 +1,71 @@
+#include "rel/relation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace chainsplit {
+
+const std::vector<int64_t> Relation::kEmptyPostings = {};
+
+bool Relation::Insert(const Tuple& tuple) {
+  CS_DCHECK(static_cast<int>(tuple.size()) == arity_)
+      << "arity mismatch: got " << tuple.size() << ", want " << arity_;
+  ++insert_attempts_;
+  auto [it, inserted] = set_.insert(tuple);
+  if (!inserted) return false;
+  rows_.push_back(&*it);
+  int64_t row_id = static_cast<int64_t>(rows_.size()) - 1;
+  for (Index& index : indexes_) {
+    index.map[KeyAt(tuple, index.columns)].push_back(row_id);
+  }
+  return true;
+}
+
+Tuple Relation::KeyAt(const Tuple& tuple, const std::vector<int>& columns) {
+  Tuple key;
+  key.reserve(columns.size());
+  for (int c : columns) key.push_back(tuple[c]);
+  return key;
+}
+
+Relation::Index& Relation::GetOrBuildIndex(
+    const std::vector<int>& columns) const {
+  for (Index& index : indexes_) {
+    if (index.columns == columns) return index;
+  }
+  indexes_.push_back(Index{columns, {}});
+  Index& index = indexes_.back();
+  for (int64_t i = 0; i < num_rows(); ++i) {
+    index.map[KeyAt(*rows_[i], columns)].push_back(i);
+  }
+  return index;
+}
+
+const std::vector<int64_t>& Relation::Probe(const std::vector<int>& columns,
+                                            const Tuple& key) const {
+  CS_DCHECK(!columns.empty()) << "Probe requires at least one column";
+  CS_DCHECK(std::is_sorted(columns.begin(), columns.end()))
+      << "Probe columns must be sorted";
+  const Index& index = GetOrBuildIndex(columns);
+  auto it = index.map.find(key);
+  if (it == index.map.end()) return kEmptyPostings;
+  return it->second;
+}
+
+int64_t Relation::UnionWith(const Relation& other) {
+  CS_DCHECK(other.arity() == arity_) << "UnionWith arity mismatch";
+  int64_t added = 0;
+  for (int64_t i = 0; i < other.num_rows(); ++i) {
+    if (Insert(other.row(i))) ++added;
+  }
+  return added;
+}
+
+void Relation::Clear() {
+  set_.clear();
+  rows_.clear();
+  indexes_.clear();
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,89 @@
+#ifndef CHAINSPLIT_REL_RELATION_H_
+#define CHAINSPLIT_REL_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "term/term.h"
+
+namespace chainsplit {
+
+/// A database tuple: one interned TermId per column. All values are
+/// ground terms, so tuple equality is memberwise integer equality.
+using Tuple = std::vector<TermId>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return HashVector(t); }
+};
+
+/// A deduplicated set of same-arity tuples with lazily built, but
+/// incrementally maintained, hash indexes on column subsets.
+///
+/// This is the storage unit of both EDB relations and the intermediate
+/// relations (deltas, magic sets, buffers) of the evaluators. Insertion
+/// order is preserved for deterministic output.
+class Relation {
+ public:
+  explicit Relation(int arity) : arity_(arity) {}
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  int arity() const { return arity_; }
+  int64_t size() const { return static_cast<int64_t>(rows_.size()); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts `tuple`; returns true when it was not already present.
+  bool Insert(const Tuple& tuple);
+
+  bool Contains(const Tuple& tuple) const {
+    return set_.find(tuple) != set_.end();
+  }
+
+  /// Stable row access: rows keep their index forever.
+  const Tuple& row(int64_t i) const { return *rows_[i]; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Row indexes whose values at `columns` equal `key` (same order).
+  /// Builds a hash index on `columns` on first use; subsequent inserts
+  /// maintain it. `columns` must be non-empty, strictly increasing.
+  const std::vector<int64_t>& Probe(const std::vector<int>& columns,
+                                    const Tuple& key) const;
+
+  /// Copies every tuple of `other` into this relation; returns the
+  /// number of new tuples.
+  int64_t UnionWith(const Relation& other);
+
+  /// Removes all tuples (indexes are dropped).
+  void Clear();
+
+  /// Total tuples ever inserted via Insert (survives Clear); used by
+  /// benchmarks as a work measure.
+  int64_t insert_attempts() const { return insert_attempts_; }
+
+ private:
+  struct Index {
+    std::vector<int> columns;
+    std::unordered_map<Tuple, std::vector<int64_t>, TupleHash> map;
+  };
+
+  Index& GetOrBuildIndex(const std::vector<int>& columns) const;
+  static Tuple KeyAt(const Tuple& tuple, const std::vector<int>& columns);
+
+  int arity_;
+  std::unordered_set<Tuple, TupleHash> set_;
+  std::vector<const Tuple*> rows_;
+  // Indexes are caches: mutating them does not change the logical value.
+  mutable std::vector<Index> indexes_;
+  int64_t insert_attempts_ = 0;
+
+  static const std::vector<int64_t> kEmptyPostings;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_REL_RELATION_H_

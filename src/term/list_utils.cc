@@ -1,0 +1,57 @@
+#include "term/list_utils.h"
+
+namespace chainsplit {
+
+TermId MakeList(TermPool& pool, std::span<const TermId> elements) {
+  TermId list = pool.Nil();
+  for (size_t i = elements.size(); i > 0; --i) {
+    list = pool.MakeCons(elements[i - 1], list);
+  }
+  return list;
+}
+
+TermId MakeIntList(TermPool& pool, std::span<const int64_t> values) {
+  std::vector<TermId> elements;
+  elements.reserve(values.size());
+  for (int64_t v : values) elements.push_back(pool.MakeInt(v));
+  return MakeList(pool, elements);
+}
+
+std::optional<std::vector<TermId>> ListElements(const TermPool& pool,
+                                                TermId t) {
+  std::vector<TermId> elements;
+  while (pool.IsCons(t)) {
+    auto args = pool.args(t);
+    elements.push_back(args[0]);
+    t = args[1];
+  }
+  if (!pool.IsNil(t)) return std::nullopt;
+  return elements;
+}
+
+std::optional<std::vector<int64_t>> ListInts(const TermPool& pool, TermId t) {
+  auto elements = ListElements(pool, t);
+  if (!elements.has_value()) return std::nullopt;
+  std::vector<int64_t> values;
+  values.reserve(elements->size());
+  for (TermId e : *elements) {
+    if (!pool.IsInt(e)) return std::nullopt;
+    values.push_back(pool.int_value(e));
+  }
+  return values;
+}
+
+int64_t ListLength(const TermPool& pool, TermId t) {
+  int64_t n = 0;
+  while (pool.IsCons(t)) {
+    ++n;
+    t = pool.args(t)[1];
+  }
+  return pool.IsNil(t) ? n : -1;
+}
+
+bool IsProperList(const TermPool& pool, TermId t) {
+  return ListLength(pool, t) >= 0;
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,35 @@
+#ifndef CHAINSPLIT_TERM_LIST_UTILS_H_
+#define CHAINSPLIT_TERM_LIST_UTILS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "term/term.h"
+
+namespace chainsplit {
+
+/// Builds the list term `[elements[0], ..., elements[n-1]]`.
+TermId MakeList(TermPool& pool, std::span<const TermId> elements);
+
+/// Builds a list of integer terms; convenience for tests and workloads.
+TermId MakeIntList(TermPool& pool, std::span<const int64_t> values);
+
+/// Decomposes a *proper* list term into its elements. Returns nullopt
+/// when `t` is not a nil-terminated list (e.g. has a variable tail).
+std::optional<std::vector<TermId>> ListElements(const TermPool& pool,
+                                                TermId t);
+
+/// Decomposes a proper list of integer terms. Returns nullopt when any
+/// element is not an integer or the list is improper.
+std::optional<std::vector<int64_t>> ListInts(const TermPool& pool, TermId t);
+
+/// Length of a proper list, or -1 when `t` is improper.
+int64_t ListLength(const TermPool& pool, TermId t);
+
+/// True when `t` is a nil-terminated list (possibly empty).
+bool IsProperList(const TermPool& pool, TermId t);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_TERM_LIST_UTILS_H_

@@ -1,0 +1,194 @@
+#include "term/term.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace chainsplit {
+
+size_t TermPool::CompoundKeyHash::operator()(const CompoundKey& k) const {
+  size_t seed = static_cast<size_t>(k.functor_name_index);
+  HashCombine(&seed, HashVector(k.args));
+  return seed;
+}
+
+TermPool::TermPool() { nil_ = MakeSymbol(kNilName); }
+
+int32_t TermPool::InternName(std::string_view name) {
+  auto it = name_index_.find(std::string(name));
+  if (it != name_index_.end()) return it->second;
+  int32_t index = static_cast<int32_t>(names_.size());
+  names_.emplace_back(name);
+  name_index_.emplace(names_.back(), index);
+  return index;
+}
+
+TermId TermPool::AddNode(const Node& node) {
+  TermId id = static_cast<TermId>(nodes_.size());
+  nodes_.push_back(node);
+  return id;
+}
+
+TermId TermPool::MakeInt(int64_t value) {
+  auto it = int_index_.find(value);
+  if (it != int_index_.end()) return it->second;
+  Node node{TermKind::kInt, /*ground=*/true,
+            static_cast<int32_t>(int_values_.size())};
+  int_values_.push_back(value);
+  TermId id = AddNode(node);
+  int_index_.emplace(value, id);
+  return id;
+}
+
+TermId TermPool::MakeSymbol(std::string_view name) {
+  int32_t name_index = InternName(name);
+  auto it = symbol_index_.find(name_index);
+  if (it != symbol_index_.end()) return it->second;
+  TermId id = AddNode(Node{TermKind::kSymbol, /*ground=*/true, name_index});
+  symbol_index_.emplace(name_index, id);
+  return id;
+}
+
+TermId TermPool::MakeVariable(std::string_view name) {
+  int32_t name_index = InternName(name);
+  auto it = variable_index_.find(name_index);
+  if (it != variable_index_.end()) return it->second;
+  TermId id = AddNode(Node{TermKind::kVariable, /*ground=*/false, name_index});
+  variable_index_.emplace(name_index, id);
+  return id;
+}
+
+TermId TermPool::FreshVariable(std::string_view hint) {
+  // Fresh names live in a reserved namespace: user variables start with
+  // an upper-case letter or '_', but the parser never produces names
+  // containing '#'.
+  std::string name = StrCat(hint, "#", fresh_counter_++);
+  return MakeVariable(name);
+}
+
+TermId TermPool::MakeCompound(std::string_view functor,
+                              std::span<const TermId> args) {
+  CompoundKey key{InternName(functor),
+                  std::vector<TermId>(args.begin(), args.end())};
+  auto it = compound_index_.find(key);
+  if (it != compound_index_.end()) return it->second;
+  bool ground = true;
+  for (TermId a : args) {
+    CS_DCHECK(a >= 0 && a < static_cast<TermId>(nodes_.size()))
+        << "argument TermId out of range";
+    ground = ground && nodes_[Index(a)].ground;
+  }
+  Node node{TermKind::kCompound, ground, key.functor_name_index,
+            static_cast<int32_t>(args_.size()),
+            static_cast<int32_t>(args.size())};
+  args_.insert(args_.end(), args.begin(), args.end());
+  TermId id = AddNode(node);
+  compound_index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId TermPool::MakeCons(TermId head, TermId tail) {
+  TermId args[] = {head, tail};
+  return MakeCompound(kConsFunctor, args);
+}
+
+int64_t TermPool::int_value(TermId t) const {
+  const Node& node = nodes_[Index(t)];
+  CS_DCHECK(node.kind == TermKind::kInt) << "int_value on non-int term";
+  return int_values_[node.payload];
+}
+
+const std::string& TermPool::name(TermId t) const {
+  const Node& node = nodes_[Index(t)];
+  CS_DCHECK(node.kind == TermKind::kSymbol ||
+            node.kind == TermKind::kVariable)
+      << "name on non-atomic term";
+  return names_[node.payload];
+}
+
+const std::string& TermPool::functor(TermId t) const {
+  const Node& node = nodes_[Index(t)];
+  CS_DCHECK(node.kind == TermKind::kCompound) << "functor on non-compound";
+  return names_[node.payload];
+}
+
+std::span<const TermId> TermPool::args(TermId t) const {
+  const Node& node = nodes_[Index(t)];
+  if (node.kind != TermKind::kCompound) return {};
+  return {args_.data() + node.args_offset,
+          static_cast<size_t>(node.arity)};
+}
+
+bool TermPool::IsCons(TermId t) const {
+  const Node& node = nodes_[Index(t)];
+  return node.kind == TermKind::kCompound && node.arity == 2 &&
+         names_[node.payload] == kConsFunctor;
+}
+
+void TermPool::CollectVariables(TermId t, std::vector<TermId>* out) const {
+  switch (kind(t)) {
+    case TermKind::kInt:
+    case TermKind::kSymbol:
+      return;
+    case TermKind::kVariable:
+      if (std::find(out->begin(), out->end(), t) == out->end()) {
+        out->push_back(t);
+      }
+      return;
+    case TermKind::kCompound:
+      if (IsGround(t)) return;
+      for (TermId a : args(t)) CollectVariables(a, out);
+      return;
+  }
+}
+
+void TermPool::AppendTo(TermId t, std::string* out) const {
+  switch (kind(t)) {
+    case TermKind::kInt:
+      out->append(std::to_string(int_value(t)));
+      return;
+    case TermKind::kSymbol:
+    case TermKind::kVariable:
+      out->append(name(t));
+      return;
+    case TermKind::kCompound:
+      break;
+  }
+  if (IsCons(t)) {
+    // Render with list sugar: [a, b | T] or [a, b].
+    out->push_back('[');
+    TermId cur = t;
+    bool first = true;
+    while (IsCons(cur)) {
+      if (!first) out->append(", ");
+      first = false;
+      AppendTo(args(cur)[0], out);
+      cur = args(cur)[1];
+    }
+    if (!IsNil(cur)) {
+      out->append(" | ");
+      AppendTo(cur, out);
+    }
+    out->push_back(']');
+    return;
+  }
+  out->append(functor(t));
+  out->push_back('(');
+  bool first = true;
+  for (TermId a : args(t)) {
+    if (!first) out->append(", ");
+    first = false;
+    AppendTo(a, out);
+  }
+  out->push_back(')');
+}
+
+std::string TermPool::ToString(TermId t) const {
+  if (t == kNullTerm) return "<null>";
+  std::string out;
+  AppendTo(t, &out);
+  return out;
+}
+
+}  // namespace chainsplit

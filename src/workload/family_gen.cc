@@ -1,0 +1,104 @@
+#include "workload/family_gen.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace chainsplit {
+
+FamilyData GenerateFamily(Database* db, const FamilyOptions& options) {
+  TermPool& pool = db->pool();
+  Program& program = db->program();
+  PredId parent = program.InternPred("parent", 2);
+  PredId sibling = program.InternPred("sibling", 2);
+  PredId country = program.InternPred("country", 2);
+  PredId same_country = program.InternPred("same_country", 2);
+
+  std::mt19937_64 rng(options.seed);
+  FamilyData data;
+  int person_counter = 0;
+
+  auto new_person = [&]() {
+    TermId p = pool.MakeSymbol(StrCat("p", person_counter++));
+    data.persons.push_back(p);
+    return p;
+  };
+
+  std::vector<std::vector<TermId>> by_country(options.num_countries);
+  auto assign_country = [&](TermId person) {
+    int c = static_cast<int>(rng() % options.num_countries);
+    db->InsertFact(country, {person, pool.MakeSymbol(StrCat("c", c))});
+    by_country[c].push_back(person);
+  };
+
+  // Each family is a `fanout`-ary tree of `depth` generations; facts
+  // are parent(child, parent) going up, matching sg's rule shape.
+  std::vector<TermId> bottom_generation;
+  for (int f = 0; f < options.num_families; ++f) {
+    std::vector<TermId> generation;
+    TermId root = new_person();
+    assign_country(root);
+    generation.push_back(root);
+    for (int d = 1; d < options.depth; ++d) {
+      std::vector<TermId> next;
+      for (TermId anc : generation) {
+        std::vector<TermId> kids;
+        for (int k = 0; k < options.fanout; ++k) {
+          TermId child = new_person();
+          assign_country(child);
+          db->InsertFact(parent, {child, anc});
+          ++data.num_parent_facts;
+          kids.push_back(child);
+          next.push_back(child);
+        }
+        for (TermId a : kids) {
+          for (TermId b : kids) {
+            if (a != b) {
+              db->InsertFact(sibling, {a, b});
+              ++data.num_sibling_facts;
+            }
+          }
+        }
+      }
+      generation = std::move(next);
+    }
+    if (f == 0) bottom_generation = generation;
+  }
+  if (!bottom_generation.empty()) {
+    data.query_person = bottom_generation.front();
+  } else if (!data.persons.empty()) {
+    data.query_person = data.persons.front();
+  }
+  data.num_persons = static_cast<int64_t>(data.persons.size());
+
+  if (options.materialize_same_country) {
+    for (const auto& group : by_country) {
+      for (TermId a : group) {
+        for (TermId b : group) {
+          db->InsertFact(same_country, {a, b});
+          ++data.num_same_country_facts;
+        }
+      }
+    }
+  }
+  return data;
+}
+
+const char* SgProgramSource() {
+  return R"(
+sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+)";
+}
+
+const char* ScsgProgramSource() {
+  return R"(
+scsg(X, Y) :- sibling(X, Y).
+scsg(X, Y) :- parent(X, X1), same_country(X1, Y1), parent(Y, Y1),
+              scsg(X1, Y1).
+)";
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,51 @@
+#ifndef CHAINSPLIT_WORKLOAD_FAMILY_GEN_H_
+#define CHAINSPLIT_WORKLOAD_FAMILY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rel/catalog.h"
+
+namespace chainsplit {
+
+/// Generator for the `sg` / `scsg` EDB of Examples 1.1 and 1.2:
+/// `parent(Child, Parent)`, `sibling(X, Y)`, `country(Person, Country)`
+/// and the materialized `same_country(X, Y)` relation whose join
+/// expansion ratio (persons per country) drives the efficiency-based
+/// chain-split decision.
+struct FamilyOptions {
+  int num_families = 8;    // independent ancestor trees
+  int depth = 5;           // generations per tree
+  int fanout = 2;          // children per person
+  int num_countries = 4;   // same_country fan-out = persons/countries
+  bool materialize_same_country = true;
+  uint64_t seed = 42;
+};
+
+struct FamilyData {
+  std::vector<TermId> persons;
+  /// A bottom-generation person to use as the query constant.
+  TermId query_person = kNullTerm;
+  int64_t num_persons = 0;
+  int64_t num_parent_facts = 0;
+  int64_t num_sibling_facts = 0;
+  int64_t num_same_country_facts = 0;
+};
+
+/// Populates `*db` with a family EDB. Relation schemas:
+///   parent(Child, Parent), sibling(X, Y) (symmetric),
+///   country(Person, Country), same_country(X, Y) (symmetric,
+///   reflexive) when materialized.
+FamilyData GenerateFamily(Database* db, const FamilyOptions& options);
+
+/// The paper's `sg` program (rules (1.1)-(1.2)) as source text.
+const char* SgProgramSource();
+
+/// The paper's `scsg` program (rules (1.5)-(1.7) style: same-country
+/// same-generation) as source text, over the materialized
+/// `same_country` relation.
+const char* ScsgProgramSource();
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_WORKLOAD_FAMILY_GEN_H_

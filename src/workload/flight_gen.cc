@@ -1,0 +1,43 @@
+#include "workload/flight_gen.h"
+
+#include <random>
+
+#include "common/strings.h"
+
+namespace chainsplit {
+
+FlightData GenerateFlights(Database* db, const FlightOptions& options) {
+  TermPool& pool = db->pool();
+  PredId flight = db->program().InternPred("flight", 4);
+  std::mt19937_64 rng(options.seed);
+
+  FlightData data;
+  data.cities.reserve(options.num_cities);
+  for (int c = 0; c < options.num_cities; ++c) {
+    data.cities.push_back(pool.MakeSymbol(StrCat("city", c)));
+  }
+  std::uniform_int_distribution<int> city_dist(0, options.num_cities - 1);
+  std::uniform_int_distribution<int64_t> fare_dist(options.min_fare,
+                                                   options.max_fare);
+  for (int f = 0; f < options.num_flights; ++f) {
+    int dep = city_dist(rng);
+    int arr = city_dist(rng);
+    if (arr == dep) arr = (arr + 1) % options.num_cities;
+    db->InsertFact(flight, {pool.MakeInt(f), data.cities[dep],
+                            data.cities[arr], pool.MakeInt(fare_dist(rng))});
+    ++data.num_flights;
+  }
+  data.origin = data.cities[0];
+  data.destination = data.cities[options.num_cities - 1];
+  return data;
+}
+
+const char* TravelProgramSource() {
+  return R"(
+travel(L, D, A, F) :- flight(Fno, D, A, F), cons(Fno, [], L).
+travel(L, D, A, F) :- flight(Fno, D, A1, F1), travel(L1, A1, A, F2),
+                      F is F1 + F2, cons(Fno, L1, L).
+)";
+}
+
+}  // namespace chainsplit

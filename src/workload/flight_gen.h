@@ -1,0 +1,45 @@
+#ifndef CHAINSPLIT_WORKLOAD_FLIGHT_GEN_H_
+#define CHAINSPLIT_WORKLOAD_FLIGHT_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rel/catalog.h"
+
+namespace chainsplit {
+
+/// Generator for the `travel` EDB of §3.3:
+/// `flight(Fno, DepCity, ArrCity, Fare)`. (The paper's schema also
+/// carries departure/arrival times; they are orthogonal to the
+/// chain-split and constraint-pushing behaviour — the compiled chain is
+/// flight/sum/cons either way — so the reproduction drops them; see
+/// EXPERIMENTS.md E4.)
+struct FlightOptions {
+  int num_cities = 20;
+  int num_flights = 200;
+  int64_t min_fare = 40;
+  int64_t max_fare = 240;
+  uint64_t seed = 7;
+};
+
+struct FlightData {
+  std::vector<TermId> cities;
+  TermId origin = kNullTerm;       // suggested query departure city
+  TermId destination = kNullTerm;  // suggested query arrival city
+  int64_t num_flights = 0;
+};
+
+/// Populates `*db` with a random flight network. Cities are symbols
+/// `city0..`, flight numbers integers; fares uniform in
+/// [min_fare, max_fare].
+FlightData GenerateFlights(Database* db, const FlightOptions& options);
+
+/// The paper's `travel` recursion as source text: a trip is a direct
+/// flight, or a flight followed by a trip, accumulating the flight-
+/// number list (via cons) and the total fare (via sum) — the compiled
+/// chain with connected flight/sum/cons predicates of §3.3.
+const char* TravelProgramSource();
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_WORKLOAD_FLIGHT_GEN_H_

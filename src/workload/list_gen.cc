@@ -1,0 +1,56 @@
+#include "workload/list_gen.h"
+
+#include <random>
+
+#include "term/list_utils.h"
+
+namespace chainsplit {
+
+std::vector<int64_t> RandomInts(int64_t n, int64_t min_value,
+                                int64_t max_value, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> dist(min_value, max_value);
+  std::vector<int64_t> values;
+  values.reserve(n);
+  for (int64_t i = 0; i < n; ++i) values.push_back(dist(rng));
+  return values;
+}
+
+TermId RandomIntList(TermPool& pool, int64_t n, int64_t min_value,
+                     int64_t max_value, uint64_t seed) {
+  std::vector<int64_t> values = RandomInts(n, min_value, max_value, seed);
+  return MakeIntList(pool, values);
+}
+
+const char* IsortProgramSource() {
+  return R"(
+isort([X|Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+isort([], []).
+insert(X, [], [X]).
+insert(X, [Y|Ys], [Y|Zs]) :- X > Y, insert(X, Ys, Zs).
+insert(X, [Y|Ys], [X, Y|Ys]) :- X =< Y.
+)";
+}
+
+const char* QsortProgramSource() {
+  return R"(
+qsort([X|Xs], Ys) :- partition(Xs, X, Littles, Bigs),
+                     qsort(Littles, Ls), qsort(Bigs, Bs),
+                     append(Ls, [X|Bs], Ys).
+qsort([], []).
+partition([X|Xs], Y, [X|Ls], Bs) :- X =< Y, partition(Xs, Y, Ls, Bs).
+partition([X|Xs], Y, Ls, [X|Bs]) :- X > Y, partition(Xs, Y, Ls, Bs).
+partition([], Y, [], []).
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+)";
+}
+
+const char* AppendProgramSource() {
+  return R"(
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+)";
+}
+
+}  // namespace chainsplit

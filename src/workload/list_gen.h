@@ -1,0 +1,36 @@
+#ifndef CHAINSPLIT_WORKLOAD_LIST_GEN_H_
+#define CHAINSPLIT_WORKLOAD_LIST_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "term/term.h"
+
+namespace chainsplit {
+
+/// Random integer sequences and list terms for the sorting and append
+/// workloads of §4 (isort, qsort) and §2.2 (append).
+
+/// `n` integers uniform in [min_value, max_value], deterministic in
+/// `seed`.
+std::vector<int64_t> RandomInts(int64_t n, int64_t min_value,
+                                int64_t max_value, uint64_t seed);
+
+/// A random integer list term of length `n`.
+TermId RandomIntList(TermPool& pool, int64_t n, int64_t min_value,
+                     int64_t max_value, uint64_t seed);
+
+/// The paper's nested linear recursion isort (Example 4.1, rules
+/// (4.1)-(4.5)) as source text.
+const char* IsortProgramSource();
+
+/// The paper's nonlinear recursion qsort (Example 4.2, rules
+/// (4.16)-(4.30)) as source text.
+const char* QsortProgramSource();
+
+/// The paper's append recursion (rules (1.13)-(1.14)).
+const char* AppendProgramSource();
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_WORKLOAD_LIST_GEN_H_

@@ -1,0 +1,183 @@
+#include "engine/builtins.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builtin_names.h"
+#include "term/list_utils.h"
+
+namespace chainsplit {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  PredId Pred(std::string_view name, int arity) {
+    return preds_.Intern(name, arity);
+  }
+
+  // Evaluates builtin `name` on `args`; returns success flag, exposes
+  // bindings via subst_.
+  bool Eval(std::string_view name, std::vector<TermId> args) {
+    PredId pred = Pred(name, static_cast<int>(args.size()));
+    bool ok = false;
+    status_ = EvalBuiltin(pool_, preds_, pred, args, &subst_, &ok);
+    return status_.ok() && ok;
+  }
+
+  TermPool pool_;
+  PredicateTable preds_;
+  Substitution subst_;
+  Status status_;
+};
+
+TEST_F(BuiltinsTest, ClassifiesBuiltins) {
+  EXPECT_EQ(GetBuiltinKind(preds_, Pred("<", 2)), BuiltinKind::kLt);
+  EXPECT_EQ(GetBuiltinKind(preds_, Pred("=<", 2)), BuiltinKind::kLe);
+  EXPECT_EQ(GetBuiltinKind(preds_, Pred("sum", 3)), BuiltinKind::kSum);
+  EXPECT_EQ(GetBuiltinKind(preds_, Pred("cons", 3)), BuiltinKind::kCons);
+  EXPECT_EQ(GetBuiltinKind(preds_, Pred("$mk_pair", 3)),
+            BuiltinKind::kMkCompound);
+  EXPECT_EQ(GetBuiltinKind(preds_, Pred("parent", 2)), BuiltinKind::kNone);
+  // sum/2 is not the arithmetic builtin.
+  EXPECT_EQ(GetBuiltinKind(preds_, Pred("sum", 2)), BuiltinKind::kNone);
+}
+
+TEST_F(BuiltinsTest, ComparisonModes) {
+  EXPECT_TRUE(BuiltinModeEvaluable(BuiltinKind::kLt, {true, true}));
+  EXPECT_FALSE(BuiltinModeEvaluable(BuiltinKind::kLt, {true, false}));
+  EXPECT_TRUE(BuiltinModeEvaluable(BuiltinKind::kSum, {true, true, false}));
+  EXPECT_TRUE(BuiltinModeEvaluable(BuiltinKind::kSum, {true, false, true}));
+  EXPECT_FALSE(BuiltinModeEvaluable(BuiltinKind::kSum, {true, false, false}));
+  EXPECT_TRUE(BuiltinModeEvaluable(BuiltinKind::kCons, {true, true, false}));
+  EXPECT_TRUE(BuiltinModeEvaluable(BuiltinKind::kCons, {false, false, true}));
+  EXPECT_FALSE(
+      BuiltinModeEvaluable(BuiltinKind::kCons, {true, false, false}));
+}
+
+TEST_F(BuiltinsTest, ComparisonsEvaluate) {
+  EXPECT_TRUE(Eval("<", {pool_.MakeInt(1), pool_.MakeInt(2)}));
+  EXPECT_FALSE(Eval("<", {pool_.MakeInt(2), pool_.MakeInt(2)}));
+  EXPECT_TRUE(Eval("=<", {pool_.MakeInt(2), pool_.MakeInt(2)}));
+  EXPECT_TRUE(Eval(">", {pool_.MakeInt(3), pool_.MakeInt(2)}));
+  EXPECT_TRUE(Eval(">=", {pool_.MakeInt(3), pool_.MakeInt(3)}));
+}
+
+TEST_F(BuiltinsTest, ComparisonOnSymbolsFailsCleanly) {
+  EXPECT_FALSE(Eval("<", {pool_.MakeSymbol("a"), pool_.MakeInt(2)}));
+  EXPECT_TRUE(status_.ok());  // failure, not error
+}
+
+TEST_F(BuiltinsTest, ComparisonOnUnboundVarIsNotEvaluable) {
+  EXPECT_FALSE(Eval("<", {pool_.MakeVariable("X"), pool_.MakeInt(2)}));
+  EXPECT_EQ(status_.code(), StatusCode::kNotFinitelyEvaluable);
+}
+
+TEST_F(BuiltinsTest, EqualityUnifies) {
+  TermId x = pool_.MakeVariable("X");
+  EXPECT_TRUE(Eval("=", {x, pool_.MakeInt(7)}));
+  EXPECT_EQ(subst_.Resolve(x, pool_), pool_.MakeInt(7));
+}
+
+TEST_F(BuiltinsTest, DisequalityNeedsGroundArgs) {
+  EXPECT_TRUE(Eval("\\=", {pool_.MakeInt(1), pool_.MakeInt(2)}));
+  EXPECT_FALSE(Eval("\\=", {pool_.MakeInt(1), pool_.MakeInt(1)}));
+  EXPECT_FALSE(Eval("\\=", {pool_.MakeVariable("Z"), pool_.MakeInt(1)}));
+  EXPECT_EQ(status_.code(), StatusCode::kNotFinitelyEvaluable);
+}
+
+TEST_F(BuiltinsTest, SumAllThreeModes) {
+  TermId z = pool_.MakeVariable("Z");
+  EXPECT_TRUE(Eval("sum", {pool_.MakeInt(2), pool_.MakeInt(3), z}));
+  EXPECT_EQ(subst_.Resolve(z, pool_), pool_.MakeInt(5));
+  subst_.clear();
+
+  TermId y = pool_.MakeVariable("Y");
+  EXPECT_TRUE(Eval("sum", {pool_.MakeInt(2), y, pool_.MakeInt(5)}));
+  EXPECT_EQ(subst_.Resolve(y, pool_), pool_.MakeInt(3));
+  subst_.clear();
+
+  TermId x = pool_.MakeVariable("X");
+  EXPECT_TRUE(Eval("sum", {x, pool_.MakeInt(3), pool_.MakeInt(5)}));
+  EXPECT_EQ(subst_.Resolve(x, pool_), pool_.MakeInt(2));
+}
+
+TEST_F(BuiltinsTest, SumChecksConsistency) {
+  EXPECT_FALSE(
+      Eval("sum", {pool_.MakeInt(2), pool_.MakeInt(3), pool_.MakeInt(6)}));
+  EXPECT_TRUE(status_.ok());
+}
+
+TEST_F(BuiltinsTest, SumUnderboundIsNotEvaluable) {
+  EXPECT_FALSE(Eval("sum", {pool_.MakeInt(2), pool_.MakeVariable("Y"),
+                            pool_.MakeVariable("Z")}));
+  EXPECT_EQ(status_.code(), StatusCode::kNotFinitelyEvaluable);
+}
+
+TEST_F(BuiltinsTest, TimesHandlesDivisibility) {
+  TermId y = pool_.MakeVariable("Y");
+  EXPECT_TRUE(Eval("times", {pool_.MakeInt(3), y, pool_.MakeInt(12)}));
+  EXPECT_EQ(subst_.Resolve(y, pool_), pool_.MakeInt(4));
+  subst_.clear();
+  EXPECT_FALSE(Eval("times", {pool_.MakeInt(5), y, pool_.MakeInt(12)}));
+  EXPECT_TRUE(status_.ok());  // 12 not divisible by 5: fails, no error
+}
+
+TEST_F(BuiltinsTest, ConsConstructs) {
+  TermId l = pool_.MakeVariable("L");
+  EXPECT_TRUE(Eval("cons", {pool_.MakeInt(1), pool_.Nil(), l}));
+  auto ints = ListInts(pool_, subst_.Resolve(l, pool_));
+  ASSERT_TRUE(ints.has_value());
+  EXPECT_EQ(*ints, (std::vector<int64_t>{1}));
+}
+
+TEST_F(BuiltinsTest, ConsDecomposes) {
+  TermId h = pool_.MakeVariable("H");
+  TermId t = pool_.MakeVariable("T");
+  TermId list = MakeIntList(pool_, {{5, 7, 1}});
+  EXPECT_TRUE(Eval("cons", {h, t, list}));
+  EXPECT_EQ(subst_.Resolve(h, pool_), pool_.MakeInt(5));
+  auto rest = ListInts(pool_, subst_.Resolve(t, pool_));
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(*rest, (std::vector<int64_t>{7, 1}));
+}
+
+TEST_F(BuiltinsTest, ConsOnNilFails) {
+  EXPECT_FALSE(Eval("cons", {pool_.MakeVariable("H"),
+                             pool_.MakeVariable("T"), pool_.Nil()}));
+  EXPECT_TRUE(status_.ok());
+}
+
+TEST_F(BuiltinsTest, ConsBuildsOpenListForTopDown) {
+  // cons with an unbound tail builds a partial list: needed by SLD.
+  TermId t = pool_.MakeVariable("T");
+  TermId l = pool_.MakeVariable("L");
+  EXPECT_TRUE(Eval("cons", {pool_.MakeInt(1), t, l}));
+  TermId built = subst_.Resolve(l, pool_);
+  EXPECT_TRUE(pool_.IsCons(built));
+  EXPECT_FALSE(pool_.IsGround(built));
+}
+
+TEST_F(BuiltinsTest, MkCompoundConstructsAndDecomposes) {
+  TermId v = pool_.MakeVariable("V");
+  EXPECT_TRUE(
+      Eval("$mk_pair", {pool_.MakeSymbol("a"), pool_.MakeInt(1), v}));
+  TermId built = subst_.Resolve(v, pool_);
+  EXPECT_EQ(pool_.ToString(built), "pair(a, 1)");
+  subst_.clear();
+
+  TermId x = pool_.MakeVariable("X");
+  TermId y = pool_.MakeVariable("Y");
+  EXPECT_TRUE(Eval("$mk_pair", {x, y, built}));
+  EXPECT_EQ(subst_.Resolve(x, pool_), pool_.MakeSymbol("a"));
+  EXPECT_EQ(subst_.Resolve(y, pool_), pool_.MakeInt(1));
+}
+
+TEST_F(BuiltinsTest, MkCompoundFunctorMismatchFails) {
+  TermId args[] = {pool_.MakeInt(1)};
+  TermId other = pool_.MakeCompound("triple", args);
+  EXPECT_FALSE(Eval("$mk_pair", {pool_.MakeVariable("X"),
+                                 pool_.MakeVariable("Y"), other}));
+  EXPECT_TRUE(status_.ok());
+}
+
+}  // namespace
+}  // namespace chainsplit

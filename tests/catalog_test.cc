@@ -1,0 +1,75 @@
+#include "rel/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace chainsplit {
+namespace {
+
+TEST(ComputeStatsTest, CardinalityAndDistincts) {
+  Relation rel(2);
+  TermPool pool;
+  for (int i = 0; i < 12; ++i) {
+    rel.Insert({pool.MakeInt(i % 3), pool.MakeInt(i)});
+  }
+  RelationStats stats = ComputeStats(rel);
+  EXPECT_EQ(stats.cardinality, 12);
+  EXPECT_EQ(stats.distinct[0], 3);
+  EXPECT_EQ(stats.distinct[1], 12);
+  EXPECT_DOUBLE_EQ(stats.FanOut(0), 4.0);
+  EXPECT_DOUBLE_EQ(stats.FanOut(1), 1.0);
+}
+
+TEST(ComputeStatsTest, EmptyRelation) {
+  Relation rel(2);
+  RelationStats stats = ComputeStats(rel);
+  EXPECT_EQ(stats.cardinality, 0);
+  EXPECT_DOUBLE_EQ(stats.FanOut(0), 0.0);
+}
+
+TEST(DatabaseTest, LoadProgramFacts) {
+  Database db;
+  ASSERT_TRUE(
+      ParseProgram("e(a, b). e(b, c). n(1).", &db.program()).ok());
+  ASSERT_TRUE(db.LoadProgramFacts().ok());
+  auto e = db.program().preds().Find("e", 2);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(db.GetRelation(*e)->size(), 2);
+  auto n = db.program().preds().Find("n", 1);
+  EXPECT_EQ(db.GetRelation(*n)->size(), 1);
+  EXPECT_EQ(db.StoredPredicates().size(), 2u);
+}
+
+TEST(DatabaseTest, GetOrCreateRelationUsesArity) {
+  Database db;
+  PredId p = db.program().InternPred("p", 3);
+  Relation* rel = db.GetOrCreateRelation(p);
+  EXPECT_EQ(rel->arity(), 3);
+  EXPECT_EQ(rel, db.GetOrCreateRelation(p));  // same object
+  EXPECT_EQ(db.GetRelation(db.program().InternPred("q", 1)), nullptr);
+}
+
+TEST(DatabaseTest, StatsAreCachedAndRefreshed) {
+  Database db;
+  PredId p = db.program().InternPred("p", 2);
+  db.InsertFact(p, {db.pool().MakeInt(1), db.pool().MakeInt(2)});
+  const RelationStats& s1 = db.Stats(p);
+  EXPECT_EQ(s1.cardinality, 1);
+  db.InsertFact(p, {db.pool().MakeInt(1), db.pool().MakeInt(3)});
+  const RelationStats& s2 = db.Stats(p);
+  EXPECT_EQ(s2.cardinality, 2);
+  EXPECT_EQ(s2.distinct[0], 1);
+  EXPECT_EQ(s2.distinct[1], 2);
+}
+
+TEST(DatabaseTest, StatsForEmptyPredicate) {
+  Database db;
+  PredId p = db.program().InternPred("never", 2);
+  const RelationStats& stats = db.Stats(p);
+  EXPECT_EQ(stats.cardinality, 0);
+  EXPECT_EQ(stats.distinct.size(), 2u);
+}
+
+}  // namespace
+}  // namespace chainsplit

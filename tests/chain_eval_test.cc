@@ -1,0 +1,92 @@
+#include "core/chain_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/graph_gen.h"
+
+namespace chainsplit {
+namespace {
+
+TEST(ChainEvalTest, ClosureOfLinearChain) {
+  Database db;
+  GraphData g = GenerateChainGraph(&db, "e", 6, "n");
+  const Relation* edge =
+      db.GetRelation(db.program().preds().Find("e", 2).value());
+  TcStats stats;
+  auto closure = TransitiveClosure(*edge, 1000, &stats);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(closure->size(), 5 + 4 + 3 + 2 + 1);
+  EXPECT_EQ(stats.tuples, closure->size());
+  EXPECT_GE(stats.iterations, 4);
+}
+
+TEST(ChainEvalTest, ClosureFromSeeds) {
+  Database db;
+  GraphData g = GenerateChainGraph(&db, "e", 6, "n");
+  const Relation* edge =
+      db.GetRelation(db.program().preds().Find("e", 2).value());
+  TcStats stats;
+  auto reach = TransitiveClosureFrom(*edge, {g.nodes[3]}, 1000, &stats);
+  ASSERT_TRUE(reach.ok());
+  EXPECT_EQ(reach->size(), 2);  // n4, n5
+  EXPECT_TRUE(reach->Contains({g.nodes[3], g.nodes[5]}));
+}
+
+TEST(ChainEvalTest, CyclicGraphTerminates) {
+  Database db;
+  PredId e = db.program().InternPred("e", 2);
+  TermId a = db.pool().MakeSymbol("a");
+  TermId b = db.pool().MakeSymbol("b");
+  db.InsertFact(e, {a, b});
+  db.InsertFact(e, {b, a});
+  TcStats stats;
+  auto closure = TransitiveClosure(*db.GetRelation(e), 1000, &stats);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(closure->size(), 4);  // aa ab ba bb
+}
+
+TEST(ChainEvalTest, IterationCapTriggers) {
+  Database db;
+  GraphData g = GenerateChainGraph(&db, "e", 50, "n");
+  const Relation* edge =
+      db.GetRelation(db.program().preds().Find("e", 2).value());
+  TcStats stats;
+  auto closure = TransitiveClosure(*edge, 5, &stats);
+  ASSERT_FALSE(closure.ok());
+  EXPECT_EQ(closure.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ChainEvalTest, SeedsWithNoEdges) {
+  Database db;
+  PredId e = db.program().InternPred("e", 2);
+  db.InsertFact(e, {db.pool().MakeSymbol("a"), db.pool().MakeSymbol("b")});
+  TcStats stats;
+  auto reach = TransitiveClosureFrom(*db.GetRelation(e),
+                                     {db.pool().MakeSymbol("z")}, 10, &stats);
+  ASSERT_TRUE(reach.ok());
+  EXPECT_TRUE(reach->empty());
+}
+
+TEST(ChainEvalTest, RandomGraphClosureIsTransitive) {
+  Database db;
+  GraphOptions options;
+  options.num_nodes = 25;
+  options.num_edges = 60;
+  options.seed = 9;
+  GenerateGraph(&db, "e", options);
+  const Relation* edge =
+      db.GetRelation(db.program().preds().Find("e", 2).value());
+  TcStats stats;
+  auto closure = TransitiveClosure(*edge, 1000, &stats);
+  ASSERT_TRUE(closure.ok());
+  // Transitivity: (a,b),(b,c) in closure => (a,c) in closure.
+  for (int64_t i = 0; i < closure->num_rows(); ++i) {
+    const Tuple& ab = closure->row(i);
+    for (int64_t j : closure->Probe({0}, {ab[1]})) {
+      EXPECT_TRUE(closure->Contains({ab[0], closure->row(j)[1]}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chainsplit

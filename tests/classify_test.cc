@@ -1,0 +1,126 @@
+#include "core/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "core/rectify.h"
+#include "workload/list_gen.h"
+
+namespace chainsplit {
+namespace {
+
+class ClassifyTest : public ::testing::Test {
+ protected:
+  ClassifyTest() : program_(&pool_) {}
+
+  ProgramAnalysis Analyze(std::string_view text) {
+    EXPECT_TRUE(ParseProgram(text, &program_).ok());
+    rectified_ = RectifyRules(&program_);
+    return ProgramAnalysis::Analyze(program_, rectified_);
+  }
+
+  PredId Find(std::string_view name, int arity) {
+    return program_.preds().Find(name, arity).value();
+  }
+
+  TermPool pool_;
+  Program program_;
+  std::vector<Rule> rectified_;
+};
+
+TEST_F(ClassifyTest, NonRecursive) {
+  auto analysis = Analyze("p(X) :- e(X, Y), f(Y).");
+  EXPECT_EQ(analysis.Get(Find("p", 1)).recursion,
+            RecursionClass::kNonRecursive);
+  EXPECT_FALSE(analysis.Get(Find("p", 1)).functional);
+}
+
+TEST_F(ClassifyTest, LinearRecursion) {
+  auto analysis = Analyze(R"(
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+)");
+  EXPECT_EQ(analysis.Get(Find("tc", 2)).recursion, RecursionClass::kLinear);
+  EXPECT_FALSE(analysis.Get(Find("tc", 2)).functional);
+}
+
+TEST_F(ClassifyTest, SgIsLinearFunctionFree) {
+  auto analysis = Analyze(R"(
+sg(X, Y) :- sibling(X, Y).
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+)");
+  const auto& info = analysis.Get(Find("sg", 2));
+  EXPECT_EQ(info.recursion, RecursionClass::kLinear);
+  EXPECT_FALSE(info.functional);
+}
+
+TEST_F(ClassifyTest, AppendIsLinearFunctional) {
+  auto analysis = Analyze(AppendProgramSource());
+  const auto& info = analysis.Get(Find("append", 3));
+  EXPECT_EQ(info.recursion, RecursionClass::kLinear);
+  EXPECT_TRUE(info.functional);  // cons after rectification
+}
+
+TEST_F(ClassifyTest, IsortIsNestedLinear) {
+  auto analysis = Analyze(IsortProgramSource());
+  EXPECT_EQ(analysis.Get(Find("isort", 2)).recursion,
+            RecursionClass::kNestedLinear);
+  EXPECT_EQ(analysis.Get(Find("insert", 3)).recursion,
+            RecursionClass::kLinear);
+  EXPECT_TRUE(analysis.Get(Find("isort", 2)).functional);
+}
+
+TEST_F(ClassifyTest, QsortIsNonLinear) {
+  auto analysis = Analyze(QsortProgramSource());
+  EXPECT_EQ(analysis.Get(Find("qsort", 2)).recursion,
+            RecursionClass::kNonLinear);
+  EXPECT_EQ(analysis.Get(Find("partition", 4)).recursion,
+            RecursionClass::kLinear);
+  EXPECT_EQ(analysis.Get(Find("append", 3)).recursion,
+            RecursionClass::kLinear);
+}
+
+TEST_F(ClassifyTest, MutualRecursion) {
+  auto analysis = Analyze(R"(
+even(z).
+even(X) :- s(X, Y), odd(Y).
+odd(X) :- s(X, Y), even(Y).
+)");
+  EXPECT_EQ(analysis.Get(Find("even", 1)).recursion,
+            RecursionClass::kMutual);
+  EXPECT_EQ(analysis.Get(Find("odd", 1)).recursion, RecursionClass::kMutual);
+}
+
+TEST_F(ClassifyTest, FunctionalTaintPropagatesToCallers) {
+  auto analysis = Analyze(R"(
+wrap(X, Y) :- lower(X, Y).
+lower(X, Y) :- Y is X + 1.
+)");
+  EXPECT_TRUE(analysis.Get(Find("lower", 2)).functional);
+  EXPECT_TRUE(analysis.Get(Find("wrap", 2)).functional);
+}
+
+TEST_F(ClassifyTest, EvaluationOrderIsCalleeFirst) {
+  auto analysis = Analyze(R"(
+top(X) :- mid(X).
+mid(X) :- bottom(X).
+bottom(a).
+)");
+  const auto& order = analysis.evaluation_order();
+  auto pos = [&](PredId p) {
+    return std::find(order.begin(), order.end(), p) - order.begin();
+  };
+  // bottom/1 has a fact only (not IDB via rules? bottom(a) ground ->
+  // fact, so only top and mid are IDB).
+  EXPECT_LT(pos(Find("mid", 1)), pos(Find("top", 1)));
+}
+
+TEST_F(ClassifyTest, UnknownPredicateDefaults) {
+  auto analysis = Analyze("p(X) :- e(X).");
+  PredId e = Find("e", 1);
+  EXPECT_FALSE(analysis.IsIdb(e));
+  EXPECT_EQ(analysis.Get(e).recursion, RecursionClass::kNonRecursive);
+}
+
+}  // namespace
+}  // namespace chainsplit

@@ -1,0 +1,207 @@
+// Differential testing across evaluation techniques: on randomized
+// workloads, every applicable technique must produce exactly the same
+// answer set. This is the library-level statement of the paper's
+// correctness claims (Remarks 3.1 and 3.2: chain-split evaluation is
+// equivalent to the standard evaluations).
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ast/parser.h"
+#include "common/strings.h"
+#include "core/planner.h"
+#include "term/list_utils.h"
+#include "workload/family_gen.h"
+#include "workload/flight_gen.h"
+#include "workload/graph_gen.h"
+#include "workload/list_gen.h"
+
+namespace chainsplit {
+namespace {
+
+/// Runs `source` + `query` under `force`, returning answers as strings
+/// (pools differ between runs).
+std::multiset<std::string> AnswersOf(const std::string& source,
+                                     const std::string& query,
+                                     std::optional<Technique> force,
+                                     Technique* used = nullptr) {
+  Database db;
+  Status status = ParseProgram(source, &db.program());
+  EXPECT_TRUE(status.ok()) << status;
+  status = ParseProgram(query, &db.program());
+  EXPECT_TRUE(status.ok()) << status;
+  status = db.LoadProgramFacts();
+  EXPECT_TRUE(status.ok()) << status;
+  PlannerOptions options;
+  options.force = force;
+  auto result = EvaluateQuery(&db, db.program().queries()[0], options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  std::multiset<std::string> out;
+  if (!result.ok()) return out;
+  if (used != nullptr) *used = result->technique;
+  for (const Tuple& row : result->answers) {
+    std::vector<std::string> parts;
+    for (TermId t : row) parts.push_back(db.pool().ToString(t));
+    out.insert(StrJoin(parts, "|"));
+  }
+  return out;
+}
+
+/// Serializes a database's generated EDB into fact clauses so the same
+/// data can be replayed into fresh databases.
+std::string EdbToSource(Database* db) {
+  std::string out;
+  for (PredId pred : db->StoredPredicates()) {
+    const Relation* rel = db->GetRelation(pred);
+    const std::string& name = db->program().preds().name(pred);
+    for (int64_t i = 0; i < rel->num_rows(); ++i) {
+      std::vector<std::string> args;
+      for (TermId t : rel->row(i)) args.push_back(db->pool().ToString(t));
+      out += StrCat(name, "(", StrJoin(args, ", "), ").\n");
+    }
+  }
+  return out;
+}
+
+class SgConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(SgConsistency, AllTechniquesAgree) {
+  Database gen;
+  FamilyOptions fam;
+  fam.num_families = 2;
+  fam.depth = 4;
+  fam.fanout = 2;
+  fam.seed = static_cast<uint64_t>(GetParam());
+  fam.materialize_same_country = false;
+  FamilyData data = GenerateFamily(&gen, fam);
+  std::string source = EdbToSource(&gen) + SgProgramSource();
+  std::string query =
+      StrCat("?- sg(", gen.pool().ToString(data.query_person), ", Y).");
+
+  auto magic = AnswersOf(source, query, Technique::kMagicSets);
+  auto buffered = AnswersOf(source, query, Technique::kBuffered);
+  auto topdown = AnswersOf(source, query, Technique::kTopDown);
+  EXPECT_EQ(magic, buffered);
+  EXPECT_EQ(magic, topdown);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SgConsistency, ::testing::Range(1, 7));
+
+class ScsgConsistency
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ScsgConsistency, FollowAndSplitAgree) {
+  auto [seed, countries] = GetParam();
+  Database gen;
+  FamilyOptions fam;
+  fam.num_families = 2;
+  fam.depth = 4;
+  fam.fanout = 2;
+  fam.num_countries = countries;
+  fam.seed = static_cast<uint64_t>(seed);
+  FamilyData data = GenerateFamily(&gen, fam);
+  std::string source = EdbToSource(&gen) + ScsgProgramSource();
+  std::string query =
+      StrCat("?- scsg(", gen.pool().ToString(data.query_person), ", Y).");
+
+  auto follow = AnswersOf(source, query, Technique::kMagicSets);
+  auto split = AnswersOf(source, query, Technique::kChainSplitMagic);
+  auto buffered = AnswersOf(source, query, Technique::kBuffered);
+  EXPECT_EQ(follow, split);
+  EXPECT_EQ(follow, buffered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCountries, ScsgConsistency,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 2}, std::pair{3, 4},
+                      std::pair{4, 2}, std::pair{5, 8}));
+
+class TravelConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(TravelConsistency, PartialEqualsPostFilterOnDags) {
+  // Layered DAG so the un-pushed evaluation is finite.
+  int seed = GetParam();
+  std::mt19937_64 rng(seed);
+  std::string facts;
+  int fno = 0;
+  const int layers = 5, per_layer = 3;
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int i = 0; i < per_layer; ++i) {
+      for (int f = 0; f < 2; ++f) {
+        int j = static_cast<int>(rng() % per_layer);
+        int64_t fare = 50 + static_cast<int64_t>(rng() % 150);
+        facts += StrCat("flight(", fno++, ", c", l, "_", i, ", c", l + 1,
+                        "_", j, ", ", fare, ").\n");
+      }
+    }
+  }
+  std::string source = facts + TravelProgramSource();
+  std::string query = "?- travel(L, c0_0, c4_0, F), F =< 420.";
+
+  Technique used_auto = Technique::kTopDown;
+  auto pushed = AnswersOf(source, query, std::nullopt, &used_auto);
+  auto filtered = AnswersOf(source, query, Technique::kBuffered);
+  EXPECT_EQ(used_auto, Technique::kPartial);
+  EXPECT_EQ(pushed, filtered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TravelConsistency, ::testing::Range(1, 7));
+
+class TcCyclicConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcCyclicConsistency, MagicMatchesTopDownCone) {
+  // Random cyclic digraphs: magic sets vs buffered (SLD would loop).
+  Database gen;
+  GraphOptions g;
+  g.num_nodes = 15;
+  g.num_edges = 30;
+  g.seed = static_cast<uint64_t>(GetParam());
+  GraphData data = GenerateGraph(&gen, "e", g);
+  std::string source = EdbToSource(&gen) + R"(
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+)";
+  // Query from a node with at least one outgoing edge so the cone is
+  // non-empty.
+  const Relation* edges =
+      gen.GetRelation(gen.program().preds().Find("e", 2).value());
+  TermId start = edges->row(0)[0];
+  std::string query = StrCat("?- tc(", gen.pool().ToString(start), ", Y).");
+  auto magic = AnswersOf(source, query, Technique::kMagicSets);
+  auto buffered = AnswersOf(source, query, Technique::kBuffered);
+  EXPECT_EQ(magic, buffered);
+  EXPECT_FALSE(magic.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcCyclicConsistency, ::testing::Range(1, 9));
+
+class AppendConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppendConsistency, BufferedMatchesTopDown) {
+  int n = GetParam();
+  std::vector<int64_t> xs = RandomInts(n, 0, 9, 100 + n);
+  std::vector<int64_t> ys = RandomInts(n / 2 + 1, 0, 9, 200 + n);
+  auto render = [](const std::vector<int64_t>& v) {
+    std::vector<std::string> parts;
+    for (int64_t x : v) parts.push_back(std::to_string(x));
+    return StrCat("[", StrJoin(parts, ", "), "]");
+  };
+  std::string source = AppendProgramSource();
+  std::string query =
+      StrCat("?- append(", render(xs), ", ", render(ys), ", W).");
+  auto buffered = AnswersOf(source, query, Technique::kBuffered);
+  auto topdown = AnswersOf(source, query, Technique::kTopDown);
+  EXPECT_EQ(buffered, topdown);
+  EXPECT_EQ(buffered.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AppendConsistency,
+                         ::testing::Values(0, 1, 3, 9, 27, 81));
+
+}  // namespace
+}  // namespace chainsplit

@@ -1,0 +1,130 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "workload/family_gen.h"
+
+namespace chainsplit {
+namespace {
+
+RelationStats MakeStats(int64_t cardinality, std::vector<int64_t> distinct) {
+  RelationStats stats;
+  stats.cardinality = cardinality;
+  stats.distinct = std::move(distinct);
+  return stats;
+}
+
+TEST(CostModelTest, ExpansionRatioBasics) {
+  // parent(child, parent): each child has ~1 parent here.
+  RelationStats parent = MakeStats(1000, {1000, 400});
+  EXPECT_DOUBLE_EQ(EstimateJoinExpansion(parent, "bf"), 1.0);
+  // same_country with 4 countries over 1000 persons: ~250 partners.
+  RelationStats sc = MakeStats(250000, {1000, 1000});
+  EXPECT_DOUBLE_EQ(EstimateJoinExpansion(sc, "bf"), 250.0);
+  // No bound column: the full cardinality.
+  EXPECT_DOUBLE_EQ(EstimateJoinExpansion(sc, "ff"), 250000.0);
+  // Both bound: selective.
+  EXPECT_DOUBLE_EQ(EstimateJoinExpansion(sc, "bb"), 0.25);
+}
+
+TEST(CostModelTest, EmptyRelationHasZeroRatio) {
+  EXPECT_DOUBLE_EQ(EstimateJoinExpansion(MakeStats(0, {0, 0}), "bf"), 0.0);
+}
+
+TEST(CostModelTest, LinkageClassification) {
+  CostModelOptions options;  // follow 2.0, split 8.0
+  EXPECT_EQ(ClassifyLinkage(1.0, options), LinkageStrength::kStrong);
+  EXPECT_EQ(ClassifyLinkage(2.0, options), LinkageStrength::kStrong);
+  EXPECT_EQ(ClassifyLinkage(5.0, options), LinkageStrength::kBorderline);
+  EXPECT_EQ(ClassifyLinkage(8.0, options), LinkageStrength::kWeak);
+  EXPECT_EQ(ClassifyLinkage(1000.0, options), LinkageStrength::kWeak);
+}
+
+TEST(CostModelTest, QuantitativeAnalysisPrefersFollowWhenCheap) {
+  CostModelOptions options;
+  EXPECT_TRUE(QuantitativeFollowWins(1.0, 10.0, options));
+  EXPECT_FALSE(QuantitativeFollowWins(6.0, 10.0, options));
+}
+
+TEST(CostModelTest, GateFollowsStrongCutsWeak) {
+  Database db;
+  FamilyOptions fam;
+  fam.num_families = 2;
+  fam.depth = 4;
+  fam.fanout = 2;
+  fam.num_countries = 2;  // weak: many same-country partners
+  GenerateFamily(&db, fam);
+  ASSERT_TRUE(ParseProgram(ScsgProgramSource(), &db.program()).ok());
+  ASSERT_TRUE(db.LoadProgramFacts().ok());
+
+  PropagationGate gate = MakeCostGate(&db);
+  PredId parent = db.program().preds().Find("parent", 2).value();
+  PredId sc = db.program().preds().Find("same_country", 2).value();
+  Atom parent_atom{parent, {db.pool().MakeVariable("X"),
+                            db.pool().MakeVariable("X1")}};
+  Atom sc_atom{sc, {db.pool().MakeVariable("X1"),
+                    db.pool().MakeVariable("Y1")}};
+  EXPECT_TRUE(gate(parent_atom, "bf"));   // strong: ~1 parent per child
+  EXPECT_FALSE(gate(sc_atom, "bf"));      // weak: persons/2 partners
+  EXPECT_FALSE(gate(parent_atom, "ff"));  // never chase a full scan
+}
+
+TEST(CostModelTest, GateIsPermissiveOnEmptyRelations) {
+  Database db;
+  db.program().InternPred("maybe", 2);
+  PropagationGate gate = MakeCostGate(&db);
+  PredId maybe = db.program().preds().Find("maybe", 2).value();
+  Atom atom{maybe,
+            {db.pool().MakeSymbol("a"), db.pool().MakeVariable("Y")}};
+  EXPECT_TRUE(gate(atom, "bf"));
+}
+
+TEST(CostModelTest, GateThresholdsAreConfigurable) {
+  Database db;
+  PredId r = db.program().InternPred("r", 2);
+  // Fan-out exactly 4 per key.
+  for (int k = 0; k < 5; ++k) {
+    for (int i = 0; i < 4; ++i) {
+      db.InsertFact(r, {db.pool().MakeInt(k), db.pool().MakeInt(100 + 4 * k + i)});
+    }
+  }
+  Atom atom{r, {db.pool().MakeVariable("X"), db.pool().MakeVariable("Y")}};
+  CostModelOptions lenient;
+  lenient.follow_threshold = 10.0;
+  lenient.split_threshold = 20.0;
+  EXPECT_TRUE(MakeCostGate(&db, lenient)(atom, "bf"));
+  CostModelOptions strict;
+  strict.follow_threshold = 1.0;
+  strict.split_threshold = 2.0;
+  EXPECT_FALSE(MakeCostGate(&db, strict)(atom, "bf"));
+}
+
+// Estimator accuracy sweep: with uniform country assignment the
+// estimated same_country expansion ratio tracks persons/countries.
+class ExpansionAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpansionAccuracy, TracksTrueFanOut) {
+  int countries = GetParam();
+  Database db;
+  FamilyOptions fam;
+  fam.num_families = 4;
+  fam.depth = 4;
+  fam.fanout = 2;
+  fam.num_countries = countries;
+  FamilyData data = GenerateFamily(&db, fam);
+  PredId sc = db.program().preds().Find("same_country", 2).value();
+  const RelationStats& stats = db.Stats(sc);
+  double estimated = EstimateJoinExpansion(stats, "bf");
+  double expected =
+      static_cast<double>(data.num_persons) / static_cast<double>(countries);
+  // Random assignment is uneven; allow 2x slack.
+  EXPECT_GT(estimated, expected / 2.0);
+  EXPECT_LT(estimated, expected * 2.0 + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Countries, ExpansionAccuracy,
+                         ::testing::Values(1, 2, 4, 8, 15));
+
+}  // namespace
+}  // namespace chainsplit

@@ -1,0 +1,121 @@
+#include "rel/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "core/planner.h"
+
+namespace chainsplit {
+namespace {
+
+TEST(CsvTest, LoadsSymbolsAndIntegers) {
+  Database db;
+  PredId flight = db.program().InternPred("flight", 4);
+  auto loaded = LoadFactsFromString(&db, flight, R"(# fno,dep,arr,fare
+1,montreal,toronto,200
+2,toronto,ottawa,150
+
+3,montreal,ottawa,-700
+)");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, 3);
+  const Relation* rel = db.GetRelation(flight);
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->size(), 3);
+  EXPECT_TRUE(rel->Contains({db.pool().MakeInt(1),
+                             db.pool().MakeSymbol("montreal"),
+                             db.pool().MakeSymbol("toronto"),
+                             db.pool().MakeInt(200)}));
+  EXPECT_TRUE(rel->Contains({db.pool().MakeInt(3),
+                             db.pool().MakeSymbol("montreal"),
+                             db.pool().MakeSymbol("ottawa"),
+                             db.pool().MakeInt(-700)}));
+}
+
+TEST(CsvTest, CountsOnlyNewTuples) {
+  Database db;
+  PredId e = db.program().InternPred("e", 2);
+  ASSERT_TRUE(LoadFactsFromString(&db, e, "a,b\n").ok());
+  auto loaded = LoadFactsFromString(&db, e, "a,b\nb,c\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 1);
+}
+
+TEST(CsvTest, ArityMismatchReportsLine) {
+  Database db;
+  PredId e = db.program().InternPred("e", 2);
+  auto loaded = LoadFactsFromString(&db, e, "a,b\na,b,c\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, CustomDelimiterAndCrlf) {
+  Database db;
+  PredId e = db.program().InternPred("e", 2);
+  CsvOptions options;
+  options.delimiter = '\t';
+  auto loaded = LoadFactsFromString(&db, e, "a\tb\r\nc\td\r\n", options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, 2);
+}
+
+TEST(CsvTest, RoundTripThroughDump) {
+  Database db;
+  PredId e = db.program().InternPred("e", 2);
+  ASSERT_TRUE(LoadFactsFromString(&db, e, "a,1\nb,2\n").ok());
+  auto dumped = DumpFactsToString(db, e);
+  ASSERT_TRUE(dumped.ok());
+  Database db2;
+  PredId e2 = db2.program().InternPred("e", 2);
+  auto reloaded = LoadFactsFromString(&db2, e2, *dumped);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(*reloaded, 2);
+}
+
+TEST(CsvTest, DumpOfMissingRelationIsEmpty) {
+  Database db;
+  PredId e = db.program().InternPred("e", 2);
+  auto dumped = DumpFactsToString(db, e);
+  ASSERT_TRUE(dumped.ok());
+  EXPECT_TRUE(dumped->empty());
+}
+
+TEST(CsvTest, FileLoadingAndMissingFile) {
+  Database db;
+  PredId e = db.program().InternPred("e", 2);
+  const char* path = "/tmp/chainsplit_csv_test.csv";
+  {
+    std::ofstream out(path);
+    out << "x,y\ny,z\n";
+  }
+  auto loaded = LoadFactsFromFile(&db, e, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, 2);
+  std::remove(path);
+  auto missing = LoadFactsFromFile(&db, e, "/tmp/does_not_exist.csv");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, LoadedFactsAnswerQueries) {
+  Database db;
+  PredId edge = db.program().InternPred("edge", 2);
+  ASSERT_TRUE(LoadFactsFromString(&db, edge, "a,b\nb,c\nc,d\n").ok());
+  ASSERT_TRUE(ParseProgram(R"(
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+?- tc(a, Y).
+)",
+                           &db.program())
+                  .ok());
+  auto result = EvaluateQuery(&db, db.program().queries()[0]);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->answers.size(), 3u);
+}
+
+}  // namespace
+}  // namespace chainsplit

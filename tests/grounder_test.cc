@@ -1,0 +1,185 @@
+#include "engine/grounder.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "rel/catalog.h"
+
+namespace chainsplit {
+namespace {
+
+class GrounderTest : public ::testing::Test {
+ protected:
+  // Parses one rule (last rule of `text`) into the db's program.
+  Rule ParseRule(std::string_view text) {
+    Status status = ParseProgram(text, &db_.program());
+    EXPECT_TRUE(status.ok()) << status;
+    return db_.program().rules().back();
+  }
+
+  void LoadFacts(std::string_view text) {
+    ASSERT_TRUE(ParseProgram(text, &db_.program()).ok());
+    ASSERT_TRUE(db_.LoadProgramFacts().ok());
+  }
+
+  RelationLookup Lookup() {
+    return [this](PredId pred) { return db_.GetRelation(pred); };
+  }
+
+  Database db_;
+};
+
+TEST_F(GrounderTest, CompilesFlatRule) {
+  Rule rule = ParseRule("p(X, Y) :- e(X, Z), e(Z, Y).");
+  auto compiled = CompileRule(db_.program(), rule);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EXPECT_EQ(compiled->slot_vars.size(), 3u);
+  EXPECT_EQ(compiled->body.size(), 2u);
+  EXPECT_EQ(compiled->order.size(), 2u);
+}
+
+TEST_F(GrounderTest, RejectsNonFlatRule) {
+  Rule rule = ParseRule("p(X) :- q([X|Xs]).");
+  auto compiled = CompileRule(db_.program(), rule);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GrounderTest, RejectsNonRangeRestrictedRule) {
+  Rule rule = ParseRule("p(X, Y) :- e(X, X).");
+  auto compiled = CompileRule(db_.program(), rule);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kNotFinitelyEvaluable);
+}
+
+TEST_F(GrounderTest, RejectsUnschedulableBuiltin) {
+  // cons(X, Xs, L) with everything unbound can never run bottom-up.
+  Rule rule = ParseRule("p(L) :- cons(X, Xs, L).");
+  auto compiled = CompileRule(db_.program(), rule);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kNotFinitelyEvaluable);
+}
+
+TEST_F(GrounderTest, SchedulesComparisonAfterBindingLiteral) {
+  Rule rule = ParseRule("p(X) :- X > Y, e(X, Y).");
+  auto compiled = CompileRule(db_.program(), rule);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  // The relation literal (index 1) must run before the comparison (0).
+  ASSERT_EQ(compiled->order.size(), 2u);
+  EXPECT_EQ(compiled->order[0], 1);
+  EXPECT_EQ(compiled->order[1], 0);
+}
+
+TEST_F(GrounderTest, EvaluatesJoin) {
+  LoadFacts("e(a, b). e(b, c). e(c, d).");
+  Rule rule = ParseRule("p(X, Y) :- e(X, Z), e(Z, Y).");
+  auto compiled = CompileRule(db_.program(), rule);
+  ASSERT_TRUE(compiled.ok());
+  Relation out(2);
+  EvalCounters counters;
+  ASSERT_TRUE(EvaluateRule(db_.pool(), db_.program().preds(), *compiled,
+                           Lookup(), -1, nullptr, &out, &counters)
+                  .ok());
+  EXPECT_EQ(out.size(), 2);  // (a,c), (b,d)
+  TermId a = db_.pool().MakeSymbol("a");
+  TermId c = db_.pool().MakeSymbol("c");
+  EXPECT_TRUE(out.Contains({a, c}));
+  EXPECT_GT(counters.derivations, 0);
+}
+
+TEST_F(GrounderTest, EvaluatesWithConstantsInBody) {
+  LoadFacts("e(a, b). e(a, c). e(b, c).");
+  Rule rule = ParseRule("p(Y) :- e(a, Y).");
+  auto compiled = CompileRule(db_.program(), rule);
+  ASSERT_TRUE(compiled.ok());
+  Relation out(1);
+  EvalCounters counters;
+  ASSERT_TRUE(EvaluateRule(db_.pool(), db_.program().preds(), *compiled,
+                           Lookup(), -1, nullptr, &out, &counters)
+                  .ok());
+  EXPECT_EQ(out.size(), 2);
+}
+
+TEST_F(GrounderTest, EvaluatesBuiltinFilterAndArithmetic) {
+  LoadFacts("n(1). n(2). n(3). n(4).");
+  Rule rule = ParseRule("big(Y) :- n(X), X > 2, Y is X + 10.");
+  auto compiled = CompileRule(db_.program(), rule);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  Relation out(1);
+  EvalCounters counters;
+  ASSERT_TRUE(EvaluateRule(db_.pool(), db_.program().preds(), *compiled,
+                           Lookup(), -1, nullptr, &out, &counters)
+                  .ok());
+  EXPECT_EQ(out.size(), 2);
+  EXPECT_TRUE(out.Contains({db_.pool().MakeInt(13)}));
+  EXPECT_TRUE(out.Contains({db_.pool().MakeInt(14)}));
+}
+
+TEST_F(GrounderTest, RepeatedVariableInLiteral) {
+  LoadFacts("e(a, a). e(a, b). e(b, b).");
+  Rule rule = ParseRule("loop(X) :- e(X, X).");
+  auto compiled = CompileRule(db_.program(), rule);
+  ASSERT_TRUE(compiled.ok());
+  Relation out(1);
+  EvalCounters counters;
+  ASSERT_TRUE(EvaluateRule(db_.pool(), db_.program().preds(), *compiled,
+                           Lookup(), -1, nullptr, &out, &counters)
+                  .ok());
+  EXPECT_EQ(out.size(), 2);  // a and b
+}
+
+TEST_F(GrounderTest, DeltaLiteralSubstitution) {
+  LoadFacts("e(a, b). e(b, c).");
+  Rule rule = ParseRule("p(X, Y) :- p0(X, Z), e(Z, Y).");
+  auto compiled = CompileRule(db_.program(), rule, /*first_literal=*/0);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->order[0], 0);
+  // Delta holds a single tuple; only joins through it are derived.
+  Relation delta(2);
+  TermId a = db_.pool().MakeSymbol("a");
+  TermId b = db_.pool().MakeSymbol("b");
+  TermId c = db_.pool().MakeSymbol("c");
+  delta.Insert({a, b});
+  Relation out(2);
+  EvalCounters counters;
+  ASSERT_TRUE(EvaluateRule(db_.pool(), db_.program().preds(), *compiled,
+                           Lookup(), 0, &delta, &out, &counters)
+                  .ok());
+  EXPECT_EQ(out.size(), 1);
+  EXPECT_TRUE(out.Contains({a, c}));
+}
+
+TEST_F(GrounderTest, DeltaMustBeRelationLiteral) {
+  Rule rule = ParseRule("p(X) :- n(X), X > 2.");
+  auto compiled = CompileRule(db_.program(), rule, /*first_literal=*/1);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GrounderTest, EmptyRelationYieldsNothing) {
+  Rule rule = ParseRule("p(X, Y) :- never(X, Y).");
+  auto compiled = CompileRule(db_.program(), rule);
+  ASSERT_TRUE(compiled.ok());
+  Relation out(2);
+  EvalCounters counters;
+  ASSERT_TRUE(EvaluateRule(db_.pool(), db_.program().preds(), *compiled,
+                           Lookup(), -1, nullptr, &out, &counters)
+                  .ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(GrounderTest, GroundCompoundConstantsInRelations) {
+  LoadFacts("has(tom, pair(a, 1)).");
+  Rule rule = ParseRule("p(X) :- has(X, pair(a, 1)).");
+  auto compiled = CompileRule(db_.program(), rule);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  Relation out(1);
+  EvalCounters counters;
+  ASSERT_TRUE(EvaluateRule(db_.pool(), db_.program().preds(), *compiled,
+                           Lookup(), -1, nullptr, &out, &counters)
+                  .ok());
+  EXPECT_EQ(out.size(), 1);
+}
+
+}  // namespace
+}  // namespace chainsplit

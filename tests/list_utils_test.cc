@@ -1,0 +1,68 @@
+#include "term/list_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace chainsplit {
+namespace {
+
+TEST(ListUtilsTest, MakeAndDecomposeRoundTrip) {
+  TermPool pool;
+  std::vector<int64_t> values = {5, 7, 1};
+  TermId list = MakeIntList(pool, values);
+  EXPECT_EQ(pool.ToString(list), "[5, 7, 1]");
+  auto back = ListInts(pool, list);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, values);
+  EXPECT_EQ(ListLength(pool, list), 3);
+  EXPECT_TRUE(IsProperList(pool, list));
+}
+
+TEST(ListUtilsTest, EmptyList) {
+  TermPool pool;
+  TermId list = MakeIntList(pool, {});
+  EXPECT_TRUE(pool.IsNil(list));
+  EXPECT_EQ(ListLength(pool, list), 0);
+  auto elements = ListElements(pool, list);
+  ASSERT_TRUE(elements.has_value());
+  EXPECT_TRUE(elements->empty());
+}
+
+TEST(ListUtilsTest, ImproperListDetected) {
+  TermPool pool;
+  TermId improper = pool.MakeCons(pool.MakeInt(1), pool.MakeVariable("T"));
+  EXPECT_EQ(ListLength(pool, improper), -1);
+  EXPECT_FALSE(IsProperList(pool, improper));
+  EXPECT_FALSE(ListElements(pool, improper).has_value());
+  EXPECT_FALSE(ListInts(pool, improper).has_value());
+}
+
+TEST(ListUtilsTest, NonIntElementsRejectedByListInts) {
+  TermPool pool;
+  TermId elements[] = {pool.MakeSymbol("a")};
+  TermId list = MakeList(pool, elements);
+  EXPECT_FALSE(ListInts(pool, list).has_value());
+  auto terms = ListElements(pool, list);
+  ASSERT_TRUE(terms.has_value());
+  EXPECT_EQ(terms->size(), 1u);
+}
+
+TEST(ListUtilsTest, MixedTermList) {
+  TermPool pool;
+  TermId elements[] = {pool.MakeSymbol("a"), pool.MakeInt(3)};
+  TermId list = MakeList(pool, elements);
+  EXPECT_EQ(pool.ToString(list), "[a, 3]");
+  EXPECT_EQ(ListLength(pool, list), 2);
+}
+
+TEST(ListUtilsTest, LongListRoundTrip) {
+  TermPool pool;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(i);
+  TermId list = MakeIntList(pool, values);
+  auto back = ListInts(pool, list);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, values);
+}
+
+}  // namespace
+}  // namespace chainsplit

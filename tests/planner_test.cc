@@ -1,0 +1,373 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "common/strings.h"
+#include "term/list_utils.h"
+#include "workload/family_gen.h"
+#include "workload/flight_gen.h"
+#include "workload/list_gen.h"
+
+namespace chainsplit {
+namespace {
+
+TEST(PlannerTest, SgUsesMagicSets) {
+  Database db;
+  auto result = RunProgram(&db, StrCat(R"(
+parent(c1, p1). parent(c2, p1).
+parent(g1, c1). parent(g2, c2).
+sibling(c1, c2). sibling(c2, c1).
+)",
+                                       SgProgramSource(), "?- sg(g1, Y)."));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->technique, Technique::kMagicSets);
+  ASSERT_EQ(result->answers.size(), 1u);
+  EXPECT_EQ(result->answers[0][0], db.pool().MakeSymbol("g2"));
+  EXPECT_NE(result->plan.find("linear"), std::string::npos);
+}
+
+TEST(PlannerTest, ScsgWithWeakLinkageUsesChainSplitMagic) {
+  Database db;
+  FamilyOptions fam;
+  fam.num_families = 2;
+  fam.depth = 4;
+  fam.fanout = 2;
+  fam.num_countries = 1;  // all same country: maximally weak linkage
+  FamilyData data = GenerateFamily(&db, fam);
+  ASSERT_TRUE(ParseProgram(ScsgProgramSource(), &db.program()).ok());
+  ASSERT_TRUE(ParseProgram(StrCat("?- scsg(", db.pool().name(data.query_person),
+                                  ", Y)."),
+                           &db.program())
+                  .ok());
+  ASSERT_TRUE(db.LoadProgramFacts().ok());
+  auto result = EvaluateQuery(&db, db.program().queries()[0]);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->technique, Technique::kChainSplitMagic);
+  EXPECT_FALSE(result->answers.empty());
+}
+
+TEST(PlannerTest, ScsgForcedTechniquesAgree) {
+  auto run = [](std::optional<Technique> force,
+                std::vector<Tuple>* answers) -> Technique {
+    Database db;
+    FamilyOptions fam;
+    fam.num_families = 2;
+    fam.depth = 4;
+    fam.fanout = 2;
+    fam.num_countries = 2;
+    FamilyData data = GenerateFamily(&db, fam);
+    EXPECT_TRUE(ParseProgram(ScsgProgramSource(), &db.program()).ok());
+    EXPECT_TRUE(
+        ParseProgram(StrCat("?- scsg(", db.pool().name(data.query_person),
+                            ", Y)."),
+                     &db.program())
+            .ok());
+    EXPECT_TRUE(db.LoadProgramFacts().ok());
+    PlannerOptions options;
+    options.force = force;
+    auto result = EvaluateQuery(&db, db.program().queries()[0], options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    if (!result.ok()) return Technique::kTopDown;
+    // Normalize answers to strings (pools differ across runs).
+    for (const Tuple& row : result->answers) {
+      Tuple named;
+      for (TermId t : row) {
+        named.push_back(static_cast<TermId>(
+            std::hash<std::string>{}(db.pool().ToString(t)) & 0x7fffffff));
+      }
+      answers->push_back(named);
+    }
+    return result->technique;
+  };
+
+  std::vector<Tuple> follow, split;
+  EXPECT_EQ(run(Technique::kMagicSets, &follow), Technique::kMagicSets);
+  run(Technique::kChainSplitMagic, &split);
+  ASSERT_EQ(follow.size(), split.size());
+  for (const Tuple& t : follow) {
+    EXPECT_NE(std::find(split.begin(), split.end(), t), split.end());
+  }
+}
+
+TEST(PlannerTest, AppendUsesBufferedChainSplit) {
+  Database db;
+  auto result = RunProgram(
+      &db, StrCat(AppendProgramSource(), "?- append([1, 2], [3], W)."));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->technique, Technique::kBuffered);
+  ASSERT_EQ(result->answers.size(), 1u);
+  auto ints = ListInts(db.pool(), result->answers[0][0]);
+  ASSERT_TRUE(ints.has_value());
+  EXPECT_EQ(*ints, (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_NE(result->plan.find("buffered"), std::string::npos);
+}
+
+TEST(PlannerTest, IsortPaperTraceViaBufferedSplit) {
+  Database db;
+  auto result = RunProgram(
+      &db, StrCat(IsortProgramSource(), "?- isort([5, 7, 1], Ys)."));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->technique, Technique::kBuffered);
+  ASSERT_EQ(result->answers.size(), 1u);
+  auto ints = ListInts(db.pool(), result->answers[0][0]);
+  ASSERT_TRUE(ints.has_value());
+  EXPECT_EQ(*ints, (std::vector<int64_t>{1, 5, 7}));
+  EXPECT_NE(result->plan.find("nested-linear"), std::string::npos);
+}
+
+TEST(PlannerTest, QsortFallsBackToTopDown) {
+  Database db;
+  auto result = RunProgram(
+      &db, StrCat(QsortProgramSource(), "?- qsort([4, 9, 5], Ys)."));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->technique, Technique::kTopDown);
+  ASSERT_EQ(result->answers.size(), 1u);
+  auto ints = ListInts(db.pool(), result->answers[0][0]);
+  EXPECT_EQ(*ints, (std::vector<int64_t>{4, 5, 9}));
+}
+
+TEST(PlannerTest, TravelWithFareBoundUsesPartialEvaluation) {
+  Database db;
+  auto result = RunProgram(&db, StrCat(TravelProgramSource(), R"(
+flight(1, montreal, toronto, 200).
+flight(2, toronto, ottawa, 150).
+flight(3, montreal, ottawa, 700).
+?- travel(L, montreal, ottawa, F), F =< 600.
+)"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->technique, Technique::kPartial);
+  // Exactly one itinerary under 600: [1,2] at 350. The pushed bound
+  // prunes partial sums; the remaining goal F =< 600 post-filters the
+  // direct 700 flight.
+  ASSERT_EQ(result->answers.size(), 1u);
+  auto flights = ListInts(db.pool(), result->answers[0][0]);
+  ASSERT_TRUE(flights.has_value());
+  EXPECT_EQ(*flights, (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(db.pool().int_value(result->answers[0][1]), 350);
+}
+
+TEST(PlannerTest, TravelWithoutConstraintOnAcyclicDataUsesBuffered) {
+  Database db;
+  auto result = RunProgram(&db, StrCat(TravelProgramSource(), R"(
+flight(1, montreal, toronto, 200).
+flight(2, toronto, ottawa, 150).
+?- travel(L, montreal, ottawa, F).
+)"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->technique, Technique::kBuffered);
+  EXPECT_EQ(result->answers.size(), 1u);
+}
+
+TEST(PlannerTest, PostGoalsFilterAnswers) {
+  Database db;
+  auto result = RunProgram(&db, StrCat(R"(
+parent(c1, p1). parent(c2, p1).
+parent(g1, c1). parent(g2, c2).
+sibling(c1, c2). sibling(c2, c1).
+nice(g2).
+)",
+                                       SgProgramSource(),
+                                       "?- sg(g1, Y), nice(Y)."));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->answers.size(), 1u);
+}
+
+TEST(PlannerTest, PostGoalsCanEliminateEverything) {
+  Database db;
+  auto result = RunProgram(&db, StrCat(R"(
+parent(g1, c1). sibling(c1, c1).
+)",
+                                       SgProgramSource(),
+                                       "?- sg(g1, Y), nope(Y)."));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->answers.empty());
+}
+
+TEST(PlannerTest, PureEdbQueryGoesTopDown) {
+  Database db;
+  auto result = RunProgram(&db, "e(a, b). e(a, c).\n?- e(a, X).");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->technique, Technique::kTopDown);
+  EXPECT_EQ(result->answers.size(), 2u);
+}
+
+TEST(PlannerTest, ForcedTopDown) {
+  Database db;
+  PlannerOptions options;
+  options.force = Technique::kTopDown;
+  ASSERT_TRUE(ParseProgram(StrCat(AppendProgramSource(),
+                                  "?- append([1], [2], W)."),
+                           &db.program())
+                  .ok());
+  ASSERT_TRUE(db.LoadProgramFacts().ok());
+  auto result = EvaluateQuery(&db, db.program().queries()[0], options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->technique, Technique::kTopDown);
+  EXPECT_EQ(result->answers.size(), 1u);
+}
+
+TEST(PlannerTest, ForcedPartialWithoutConstraintErrors) {
+  Database db;
+  PlannerOptions options;
+  options.force = Technique::kPartial;
+  ASSERT_TRUE(ParseProgram(StrCat(AppendProgramSource(),
+                                  "?- append([1], [2], W)."),
+                           &db.program())
+                  .ok());
+  ASSERT_TRUE(db.LoadProgramFacts().ok());
+  auto result = EvaluateQuery(&db, db.program().queries()[0], options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlannerTest, EmptyQueryRejected) {
+  Database db;
+  Query query;
+  auto result = EvaluateQuery(&db, query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PlannerTest, ProgramWithoutQueryRejected) {
+  Database db;
+  auto result = RunProgram(&db, "e(a, b).");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(PlannerTest, QueryVariablesInOrder) {
+  Database db;
+  auto result = RunProgram(&db, StrCat(TravelProgramSource(), R"(
+flight(1, montreal, ottawa, 100).
+?- travel(L, montreal, ottawa, F).
+)"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->vars.size(), 2u);
+  EXPECT_EQ(db.pool().name(result->vars[0]), "L");
+  EXPECT_EQ(db.pool().name(result->vars[1]), "F");
+}
+
+// Property: the planner's buffered isort equals std::sort for random
+// lists of growing length.
+class PlannerIsortProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlannerIsortProperty, SortsCorrectly) {
+  int n = GetParam();
+  Database db;
+  ASSERT_TRUE(ParseProgram(IsortProgramSource(), &db.program()).ok());
+  ASSERT_TRUE(db.LoadProgramFacts().ok());
+  std::vector<int64_t> values = RandomInts(n, 0, 100, 77 + n);
+  TermId list = MakeIntList(db.pool(), values);
+  Query query;
+  PredId isort = db.program().preds().Find("isort", 2).value();
+  query.goals.push_back(Atom{isort, {list, db.pool().MakeVariable("Ys")}});
+  auto result = EvaluateQuery(&db, query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->technique, Technique::kBuffered);
+  ASSERT_EQ(result->answers.size(), 1u);
+  auto sorted = ListInts(db.pool(), result->answers[0][0]);
+  ASSERT_TRUE(sorted.has_value());
+  std::vector<int64_t> expect = values;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(*sorted, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PlannerIsortProperty,
+                         ::testing::Values(0, 1, 2, 5, 10, 25, 50, 100));
+
+}  // namespace
+}  // namespace chainsplit
+
+namespace chainsplit {
+namespace {
+
+TEST(PlannerTest, IdbFactsSurviveMagicEvaluation) {
+  // sg has both a stored fact and rules: the fact must appear in the
+  // magic-evaluated answers.
+  Database db;
+  auto result = RunProgram(&db, StrCat(R"(
+sg(g1, direct).
+parent(c1, p1). parent(c2, p1).
+parent(g1, c1). parent(g2, c2).
+sibling(c1, c2). sibling(c2, c1).
+)",
+                                       SgProgramSource(), "?- sg(g1, Y)."));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->answers.size(), 2u);  // direct (fact) + g2 (derived)
+  bool found_direct = false;
+  for (const Tuple& row : result->answers) {
+    found_direct =
+        found_direct || row[0] == db.pool().MakeSymbol("direct");
+  }
+  EXPECT_TRUE(found_direct);
+}
+
+}  // namespace
+}  // namespace chainsplit
+
+namespace chainsplit {
+namespace {
+
+TEST(MaterializeAllTest, MaterializesFunctionFreeProgram) {
+  Database db;
+  ASSERT_TRUE(ParseProgram(R"(
+e(a, b). e(b, c). e(c, d).
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+reach2(X) :- tc(a, X).
+)",
+                           &db.program())
+                  .ok());
+  ASSERT_TRUE(db.LoadProgramFacts().ok());
+  ASSERT_TRUE(MaterializeAll(&db).ok());
+  const Relation* tc =
+      db.GetRelation(db.program().preds().Find("tc", 2).value());
+  ASSERT_NE(tc, nullptr);
+  EXPECT_EQ(tc->size(), 6);
+  const Relation* reach2 =
+      db.GetRelation(db.program().preds().Find("reach2", 1).value());
+  ASSERT_NE(reach2, nullptr);
+  EXPECT_EQ(reach2->size(), 3);
+}
+
+TEST(MaterializeAllTest, RejectsFunctionalPrograms) {
+  Database db;
+  ASSERT_TRUE(
+      ParseProgram(IsortProgramSource(), &db.program()).ok());
+  ASSERT_TRUE(db.LoadProgramFacts().ok());
+  Status status = MaterializeAll(&db);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFinitelyEvaluable);
+}
+
+TEST(PlannerTest, StatsOrderingDoesNotChangeAnswers) {
+  auto answers = [](bool use_stats) {
+    Database db;
+    FamilyOptions fam;
+    fam.num_families = 2;
+    fam.depth = 4;
+    fam.fanout = 2;
+    fam.num_countries = 2;
+    FamilyData data = GenerateFamily(&db, fam);
+    EXPECT_TRUE(ParseProgram(ScsgProgramSource(), &db.program()).ok());
+    EXPECT_TRUE(db.LoadProgramFacts().ok());
+    Query query;
+    PredId scsg = db.program().preds().Find("scsg", 2).value();
+    query.goals.push_back(
+        Atom{scsg, {data.query_person, db.pool().MakeVariable("Y")}});
+    PlannerOptions options;
+    options.use_stats_ordering = use_stats;
+    auto result = EvaluateQuery(&db, query, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    std::vector<std::string> names;
+    for (const Tuple& row : result->answers) {
+      names.push_back(db.pool().ToString(row[0]));
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+  EXPECT_EQ(answers(true), answers(false));
+}
+
+}  // namespace
+}  // namespace chainsplit

@@ -1,0 +1,94 @@
+#include "rel/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace chainsplit {
+namespace {
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel(2);
+  EXPECT_TRUE(rel.Insert({1, 2}));
+  EXPECT_FALSE(rel.Insert({1, 2}));
+  EXPECT_TRUE(rel.Insert({2, 1}));
+  EXPECT_EQ(rel.size(), 2);
+  EXPECT_EQ(rel.insert_attempts(), 3);
+}
+
+TEST(RelationTest, ContainsAndRowAccess) {
+  Relation rel(2);
+  rel.Insert({1, 2});
+  rel.Insert({3, 4});
+  EXPECT_TRUE(rel.Contains({1, 2}));
+  EXPECT_FALSE(rel.Contains({2, 1}));
+  EXPECT_EQ(rel.row(0), (Tuple{1, 2}));
+  EXPECT_EQ(rel.row(1), (Tuple{3, 4}));  // insertion order preserved
+}
+
+TEST(RelationTest, ProbeBuildsAndMaintainsIndex) {
+  Relation rel(2);
+  rel.Insert({1, 10});
+  rel.Insert({1, 11});
+  rel.Insert({2, 20});
+  const auto& hits = rel.Probe({0}, {1});
+  EXPECT_EQ(hits.size(), 2u);
+  // Index maintained incrementally on later inserts.
+  rel.Insert({1, 12});
+  EXPECT_EQ(rel.Probe({0}, {1}).size(), 3u);
+  EXPECT_TRUE(rel.Probe({0}, {99}).empty());
+}
+
+TEST(RelationTest, MultiColumnProbe) {
+  Relation rel(3);
+  rel.Insert({1, 2, 3});
+  rel.Insert({1, 2, 4});
+  rel.Insert({1, 3, 5});
+  EXPECT_EQ(rel.Probe({0, 1}, {1, 2}).size(), 2u);
+  EXPECT_EQ(rel.Probe({1, 2}, {2, 4}).size(), 1u);
+}
+
+TEST(RelationTest, SeveralIndexesCoexist) {
+  Relation rel(2);
+  for (TermId i = 0; i < 100; ++i) rel.Insert({i % 10, i});
+  EXPECT_EQ(rel.Probe({0}, {3}).size(), 10u);
+  EXPECT_EQ(rel.Probe({1}, {42}).size(), 1u);
+  EXPECT_EQ(rel.Probe({0, 1}, {2, 42}).size(), 1u);
+}
+
+TEST(RelationTest, UnionWith) {
+  Relation a(1);
+  Relation b(1);
+  a.Insert({1});
+  a.Insert({2});
+  b.Insert({2});
+  b.Insert({3});
+  EXPECT_EQ(a.UnionWith(b), 1);
+  EXPECT_EQ(a.size(), 3);
+}
+
+TEST(RelationTest, ClearDropsTuplesAndIndexes) {
+  Relation rel(2);
+  rel.Insert({1, 2});
+  rel.Probe({0}, {1});
+  rel.Clear();
+  EXPECT_TRUE(rel.empty());
+  EXPECT_TRUE(rel.Probe({0}, {1}).empty());
+  EXPECT_TRUE(rel.Insert({1, 2}));
+}
+
+TEST(RelationTest, ZeroArityRelation) {
+  Relation rel(0);
+  EXPECT_TRUE(rel.Insert({}));
+  EXPECT_FALSE(rel.Insert({}));
+  EXPECT_EQ(rel.size(), 1);
+  EXPECT_TRUE(rel.Contains({}));
+}
+
+TEST(RelationTest, LargeRelationStaysConsistent) {
+  Relation rel(2);
+  for (TermId i = 0; i < 20000; ++i) rel.Insert({i / 100, i});
+  EXPECT_EQ(rel.size(), 20000);
+  EXPECT_EQ(rel.Probe({0}, {7}).size(), 100u);
+}
+
+}  // namespace
+}  // namespace chainsplit

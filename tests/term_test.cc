@@ -1,0 +1,155 @@
+#include "term/term.h"
+
+#include <gtest/gtest.h>
+
+namespace chainsplit {
+namespace {
+
+TEST(TermPoolTest, InternsIntsOnce) {
+  TermPool pool;
+  TermId a = pool.MakeInt(42);
+  TermId b = pool.MakeInt(42);
+  TermId c = pool.MakeInt(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(pool.IsInt(a));
+  EXPECT_EQ(pool.int_value(a), 42);
+  EXPECT_TRUE(pool.IsGround(a));
+}
+
+TEST(TermPoolTest, NegativeIntValues) {
+  TermPool pool;
+  TermId a = pool.MakeInt(-7);
+  EXPECT_EQ(pool.int_value(a), -7);
+  EXPECT_EQ(pool.ToString(a), "-7");
+}
+
+TEST(TermPoolTest, InternsSymbolsOnce) {
+  TermPool pool;
+  TermId a = pool.MakeSymbol("tom");
+  TermId b = pool.MakeSymbol("tom");
+  TermId c = pool.MakeSymbol("bob");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(pool.IsSymbol(a));
+  EXPECT_EQ(pool.name(a), "tom");
+  EXPECT_TRUE(pool.IsGround(a));
+}
+
+TEST(TermPoolTest, SymbolsAndVariablesAreDistinct) {
+  TermPool pool;
+  TermId s = pool.MakeSymbol("x");
+  TermId v = pool.MakeVariable("x");
+  EXPECT_NE(s, v);
+  EXPECT_TRUE(pool.IsVariable(v));
+  EXPECT_FALSE(pool.IsGround(v));
+}
+
+TEST(TermPoolTest, FreshVariablesAreAllDistinct) {
+  TermPool pool;
+  TermId a = pool.FreshVariable("X");
+  TermId b = pool.FreshVariable("X");
+  EXPECT_NE(a, b);
+  TermId named = pool.MakeVariable("X");
+  EXPECT_NE(a, named);
+  EXPECT_NE(b, named);
+}
+
+TEST(TermPoolTest, HashConsesCompounds) {
+  TermPool pool;
+  TermId x = pool.MakeInt(1);
+  TermId y = pool.MakeInt(2);
+  TermId args1[] = {x, y};
+  TermId args2[] = {x, y};
+  TermId f1 = pool.MakeCompound("f", args1);
+  TermId f2 = pool.MakeCompound("f", args2);
+  EXPECT_EQ(f1, f2);
+  TermId args3[] = {y, x};
+  EXPECT_NE(f1, pool.MakeCompound("f", args3));
+  EXPECT_NE(f1, pool.MakeCompound("g", args1));
+}
+
+TEST(TermPoolTest, CompoundAccessors) {
+  TermPool pool;
+  TermId x = pool.MakeInt(1);
+  TermId v = pool.MakeVariable("V");
+  TermId args[] = {x, v};
+  TermId f = pool.MakeCompound("pair", args);
+  EXPECT_TRUE(pool.IsCompound(f));
+  EXPECT_EQ(pool.functor(f), "pair");
+  ASSERT_EQ(pool.args(f).size(), 2u);
+  EXPECT_EQ(pool.args(f)[0], x);
+  EXPECT_EQ(pool.args(f)[1], v);
+  EXPECT_FALSE(pool.IsGround(f));  // contains variable V
+}
+
+TEST(TermPoolTest, GroundFlagPropagates) {
+  TermPool pool;
+  TermId v = pool.MakeVariable("V");
+  TermId inner_args[] = {v};
+  TermId inner = pool.MakeCompound("g", inner_args);
+  TermId outer_args[] = {inner, pool.MakeInt(3)};
+  TermId outer = pool.MakeCompound("f", outer_args);
+  EXPECT_FALSE(pool.IsGround(outer));
+
+  TermId ground_args[] = {pool.MakeInt(1)};
+  TermId ground_inner = pool.MakeCompound("g", ground_args);
+  TermId outer2_args[] = {ground_inner, pool.MakeInt(3)};
+  EXPECT_TRUE(pool.IsGround(pool.MakeCompound("f", outer2_args)));
+}
+
+TEST(TermPoolTest, ConsAndNil) {
+  TermPool pool;
+  EXPECT_TRUE(pool.IsNil(pool.Nil()));
+  TermId cell = pool.MakeCons(pool.MakeInt(1), pool.Nil());
+  EXPECT_TRUE(pool.IsCons(cell));
+  EXPECT_FALSE(pool.IsCons(pool.Nil()));
+  EXPECT_EQ(pool.args(cell)[0], pool.MakeInt(1));
+  EXPECT_EQ(pool.args(cell)[1], pool.Nil());
+}
+
+TEST(TermPoolTest, ToStringRendersListsWithSugar) {
+  TermPool pool;
+  TermId list =
+      pool.MakeCons(pool.MakeInt(1),
+                    pool.MakeCons(pool.MakeInt(2), pool.Nil()));
+  EXPECT_EQ(pool.ToString(list), "[1, 2]");
+  TermId tail_var = pool.MakeVariable("T");
+  TermId improper = pool.MakeCons(pool.MakeInt(1), tail_var);
+  EXPECT_EQ(pool.ToString(improper), "[1 | T]");
+  EXPECT_EQ(pool.ToString(pool.Nil()), "[]");
+}
+
+TEST(TermPoolTest, ToStringRendersCompounds) {
+  TermPool pool;
+  TermId args[] = {pool.MakeSymbol("a"), pool.MakeVariable("X")};
+  EXPECT_EQ(pool.ToString(pool.MakeCompound("f", args)), "f(a, X)");
+}
+
+TEST(TermPoolTest, CollectVariablesInOrderWithoutDuplicates) {
+  TermPool pool;
+  TermId x = pool.MakeVariable("X");
+  TermId y = pool.MakeVariable("Y");
+  TermId args[] = {x, y, x};
+  TermId f = pool.MakeCompound("f", args);
+  std::vector<TermId> vars;
+  pool.CollectVariables(f, &vars);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], x);
+  EXPECT_EQ(vars[1], y);
+}
+
+TEST(TermPoolTest, DeepListInterning) {
+  TermPool pool;
+  // Two structurally equal 1000-element lists intern to the same id.
+  TermId a = pool.Nil();
+  TermId b = pool.Nil();
+  for (int i = 0; i < 1000; ++i) {
+    a = pool.MakeCons(pool.MakeInt(i), a);
+    b = pool.MakeCons(pool.MakeInt(i), b);
+  }
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace chainsplit

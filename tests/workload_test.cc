@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "workload/family_gen.h"
+#include "workload/flight_gen.h"
+#include "workload/graph_gen.h"
+#include "workload/list_gen.h"
+#include "term/list_utils.h"
+
+namespace chainsplit {
+namespace {
+
+TEST(FamilyGenTest, GeneratesConsistentFacts) {
+  Database db;
+  FamilyOptions options;
+  options.num_families = 3;
+  options.depth = 4;
+  options.fanout = 2;
+  options.num_countries = 2;
+  FamilyData data = GenerateFamily(&db, options);
+  // Persons per family: 1 + 2 + 4 + 8 = 15.
+  EXPECT_EQ(data.num_persons, 45);
+  EXPECT_EQ(data.num_parent_facts, 42);  // all but the 3 roots
+  EXPECT_NE(data.query_person, kNullTerm);
+
+  PredId parent = db.program().preds().Find("parent", 2).value();
+  EXPECT_EQ(db.GetRelation(parent)->size(), data.num_parent_facts);
+  PredId sc = db.program().preds().Find("same_country", 2).value();
+  // Symmetric + reflexive: sum of group sizes squared.
+  const RelationStats& stats = db.Stats(sc);
+  EXPECT_EQ(stats.cardinality, data.num_same_country_facts);
+  EXPECT_GE(stats.cardinality, data.num_persons);  // at least reflexive
+}
+
+TEST(FamilyGenTest, DeterministicInSeed) {
+  FamilyOptions options;
+  options.seed = 123;
+  Database db1, db2;
+  FamilyData d1 = GenerateFamily(&db1, options);
+  FamilyData d2 = GenerateFamily(&db2, options);
+  EXPECT_EQ(d1.num_same_country_facts, d2.num_same_country_facts);
+  EXPECT_EQ(db1.pool().ToString(d1.query_person),
+            db2.pool().ToString(d2.query_person));
+}
+
+TEST(FamilyGenTest, CountryCountControlsFanOut) {
+  FamilyOptions few;
+  few.num_countries = 1;
+  FamilyOptions many;
+  many.num_countries = 16;
+  Database db1, db2;
+  FamilyData d1 = GenerateFamily(&db1, few);
+  FamilyData d2 = GenerateFamily(&db2, many);
+  EXPECT_GT(d1.num_same_country_facts, d2.num_same_country_facts);
+}
+
+TEST(FlightGenTest, GeneratesFlights) {
+  Database db;
+  FlightOptions options;
+  options.num_cities = 5;
+  options.num_flights = 40;
+  FlightData data = GenerateFlights(&db, options);
+  EXPECT_EQ(data.num_flights, 40);
+  PredId flight = db.program().preds().Find("flight", 4).value();
+  const Relation* rel = db.GetRelation(flight);
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->size(), 40);
+  for (int64_t i = 0; i < rel->num_rows(); ++i) {
+    const Tuple& t = rel->row(i);
+    EXPECT_NE(t[1], t[2]);  // no self-loop flights
+    int64_t fare = db.pool().int_value(t[3]);
+    EXPECT_GE(fare, options.min_fare);
+    EXPECT_LE(fare, options.max_fare);
+  }
+}
+
+TEST(ListGenTest, RandomIntsRespectRangeAndSeed) {
+  auto a = RandomInts(100, 5, 10, 42);
+  auto b = RandomInts(100, 5, 10, 42);
+  EXPECT_EQ(a, b);
+  for (int64_t v : a) {
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+  }
+  auto c = RandomInts(100, 5, 10, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(ListGenTest, RandomIntListBuildsProperList) {
+  TermPool pool;
+  TermId list = RandomIntList(pool, 20, 0, 9, 7);
+  EXPECT_EQ(ListLength(pool, list), 20);
+}
+
+TEST(GraphGenTest, AcyclicOptionYieldsDag) {
+  Database db;
+  GraphOptions options;
+  options.num_nodes = 20;
+  options.num_edges = 50;
+  options.acyclic = true;
+  GraphData data = GenerateGraph(&db, "e", options);
+  const Relation* rel =
+      db.GetRelation(db.program().preds().Find("e", 2).value());
+  // Node index increases along every edge (symbols n0..n19 interned in
+  // order, so TermIds are ordered too).
+  for (int64_t i = 0; i < rel->num_rows(); ++i) {
+    EXPECT_LT(rel->row(i)[0], rel->row(i)[1]);
+  }
+  EXPECT_EQ(data.num_edges, rel->size());
+}
+
+TEST(GraphGenTest, ChainGraphShape) {
+  Database db;
+  GraphData data = GenerateChainGraph(&db, "e", 10, "c");
+  EXPECT_EQ(data.num_edges, 9);
+  EXPECT_EQ(data.nodes.size(), 10u);
+}
+
+TEST(GraphGenTest, DistinctPrefixesKeepGraphsApart) {
+  Database db;
+  GraphOptions options;
+  options.node_prefix = "a";
+  GenerateGraph(&db, "e1", options);
+  options.node_prefix = "b";
+  GenerateGraph(&db, "e2", options);
+  const Relation* e1 =
+      db.GetRelation(db.program().preds().Find("e1", 2).value());
+  const Relation* e2 =
+      db.GetRelation(db.program().preds().Find("e2", 2).value());
+  for (int64_t i = 0; i < e1->num_rows(); ++i) {
+    for (int64_t j = 0; j < e2->num_rows(); ++j) {
+      EXPECT_NE(e1->row(i)[0], e2->row(j)[0]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chainsplit

@@ -1,0 +1,209 @@
+// csdd — an interactive shell for the ChainSplit deductive database.
+//
+//   $ csdd [program.dl ...]
+//
+// Loads each program file (facts, rules; queries in files run
+// immediately), then reads from stdin:
+//
+//   ?- sg(tom, Y).          run a query
+//   p(a, b).                add a fact or rule
+//   :load FILE              load another program file
+//   :csv PRED/ARITY FILE    bulk-load facts from delimited text
+//   :plan                   toggle plan printing
+//   :stats                  toggle evaluator statistics
+//   :preds                  list predicates with stored facts
+//   :help                   this text
+//   :quit                   exit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "chainsplit.h"
+#include "common/strings.h"
+
+namespace chainsplit {
+namespace {
+
+struct ShellState {
+  Database db;
+  bool show_plan = false;
+  bool show_stats = false;
+};
+
+void PrintHelp() {
+  std::printf(
+      "  ?- goal, goal.          run a query\n"
+      "  head :- body.           add a rule (or `fact.`)\n"
+      "  :load FILE              load a program file\n"
+      "  :csv PRED/ARITY FILE    bulk-load facts (comma separated)\n"
+      "  :plan                   toggle plan printing\n"
+      "  :stats                  toggle evaluation statistics\n"
+      "  :preds                  list predicates with stored facts\n"
+      "  :quit                   exit\n");
+}
+
+void RunQuery(ShellState* state, const Query& query) {
+  auto result = EvaluateQuery(&state->db, query);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (state->show_plan) {
+    std::printf("%% technique: %s\n%s",
+                TechniqueToString(result->technique), result->plan.c_str());
+  }
+  const TermPool& pool = state->db.pool();
+  if (result->vars.empty()) {
+    std::printf(result->answers.empty() ? "no\n" : "yes\n");
+  } else if (result->answers.empty()) {
+    std::printf("no answers\n");
+  } else {
+    for (const Tuple& row : result->answers) {
+      std::vector<std::string> bindings;
+      for (size_t i = 0; i < result->vars.size(); ++i) {
+        bindings.push_back(StrCat(pool.ToString(result->vars[i]), " = ",
+                                  pool.ToString(row[i])));
+      }
+      std::printf("%s\n", StrJoin(bindings, ", ").c_str());
+    }
+    std::printf("%% %zu answer(s)\n", result->answers.size());
+  }
+  if (state->show_stats) {
+    std::printf(
+        "%% seminaive: %lld derived in %lld iterations; buffered: %lld "
+        "states, %lld buffered; sld: %lld steps\n",
+        static_cast<long long>(result->seminaive_stats.total_derived),
+        static_cast<long long>(result->seminaive_stats.iterations),
+        static_cast<long long>(result->buffered_stats.nodes),
+        static_cast<long long>(result->buffered_stats.buffered_values),
+        static_cast<long long>(result->topdown_stats.steps));
+  }
+}
+
+/// Parses `text` as program input and executes it: facts/rules are
+/// added, queries run immediately.
+void Consume(ShellState* state, const std::string& text) {
+  Program& program = state->db.program();
+  size_t facts_before = program.facts().size();
+  size_t queries_before = program.queries().size();
+  Status status = ParseProgram(text, &program);
+  if (!status.ok()) {
+    std::printf("parse error: %s\n", status.ToString().c_str());
+    return;
+  }
+  // Load only the newly added facts.
+  for (size_t i = facts_before; i < program.facts().size(); ++i) {
+    const Atom& fact = program.facts()[i];
+    state->db.InsertFact(fact.pred, fact.args);
+  }
+  for (size_t i = queries_before; i < program.queries().size(); ++i) {
+    RunQuery(state, program.queries()[i]);
+  }
+}
+
+void LoadFile(ShellState* state, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("error: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Consume(state, buffer.str());
+  std::printf("%% loaded %s\n", path.c_str());
+}
+
+void LoadCsv(ShellState* state, const std::string& args) {
+  std::vector<std::string> parts = StrSplit(args, ' ');
+  if (parts.size() != 2 || parts[0].find('/') == std::string::npos) {
+    std::printf("usage: :csv PRED/ARITY FILE\n");
+    return;
+  }
+  std::vector<std::string> spec = StrSplit(parts[0], '/');
+  int arity = std::atoi(spec[1].c_str());
+  PredId pred = state->db.program().InternPred(spec[0], arity);
+  auto loaded = LoadFactsFromFile(&state->db, pred, parts[1]);
+  if (!loaded.ok()) {
+    std::printf("error: %s\n", loaded.status().ToString().c_str());
+    return;
+  }
+  std::printf("%% %lld new tuples into %s\n",
+              static_cast<long long>(*loaded), parts[0].c_str());
+}
+
+void ListPreds(ShellState* state) {
+  for (PredId pred : state->db.StoredPredicates()) {
+    const std::string& name = state->db.program().preds().name(pred);
+    // Hide derived evaluation relations (adorned and magic predicates).
+    if (StartsWith(name, "m_") || name.find("__") != std::string::npos) {
+      continue;
+    }
+    const Relation* rel = state->db.GetRelation(pred);
+    std::printf("  %-24s %lld tuples\n",
+                state->db.program().preds().Display(pred).c_str(),
+                static_cast<long long>(rel->size()));
+  }
+}
+
+int Run(int argc, char** argv) {
+  ShellState state;
+  for (int i = 1; i < argc; ++i) LoadFile(&state, argv[i]);
+
+  std::string line;
+  std::string pending;
+  bool tty = isatty(0);
+  if (tty) {
+    std::printf("ChainSplit-DDB shell — :help for commands\n");
+  }
+  while (true) {
+    if (tty) std::printf(pending.empty() ? "csdd> " : "....> ");
+    if (!std::getline(std::cin, line)) break;
+    // Command lines.
+    if (pending.empty() && !line.empty() && line[0] == ':') {
+      size_t space = line.find(' ');
+      std::string cmd = line.substr(0, space);
+      std::string args =
+          space == std::string::npos ? "" : line.substr(space + 1);
+      if (cmd == ":quit" || cmd == ":q") break;
+      if (cmd == ":help") {
+        PrintHelp();
+      } else if (cmd == ":load") {
+        LoadFile(&state, args);
+      } else if (cmd == ":csv") {
+        LoadCsv(&state, args);
+      } else if (cmd == ":plan") {
+        state.show_plan = !state.show_plan;
+        std::printf("%% plan printing %s\n", state.show_plan ? "on" : "off");
+      } else if (cmd == ":stats") {
+        state.show_stats = !state.show_stats;
+        std::printf("%% statistics %s\n", state.show_stats ? "on" : "off");
+      } else if (cmd == ":preds") {
+        ListPreds(&state);
+      } else {
+        std::printf("unknown command %s — :help\n", cmd.c_str());
+      }
+      continue;
+    }
+    // Clause lines: accumulate until a terminating '.'.
+    pending += line;
+    pending += "\n";
+    std::string trimmed = pending;
+    while (!trimmed.empty() &&
+           std::isspace(static_cast<unsigned char>(trimmed.back()))) {
+      trimmed.pop_back();
+    }
+    if (!trimmed.empty() && trimmed.back() == '.') {
+      Consume(&state, pending);
+      pending.clear();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace chainsplit
+
+int main(int argc, char** argv) { return chainsplit::Run(argc, argv); }
