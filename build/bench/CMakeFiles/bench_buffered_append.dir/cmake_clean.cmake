@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffered_append.dir/bench_buffered_append.cc.o"
+  "CMakeFiles/bench_buffered_append.dir/bench_buffered_append.cc.o.d"
+  "bench_buffered_append"
+  "bench_buffered_append.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffered_append.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

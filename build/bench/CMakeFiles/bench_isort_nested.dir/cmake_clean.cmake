@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isort_nested.dir/bench_isort_nested.cc.o"
+  "CMakeFiles/bench_isort_nested.dir/bench_isort_nested.cc.o.d"
+  "bench_isort_nested"
+  "bench_isort_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isort_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

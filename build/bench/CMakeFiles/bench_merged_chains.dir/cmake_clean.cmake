@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merged_chains.dir/bench_merged_chains.cc.o"
+  "CMakeFiles/bench_merged_chains.dir/bench_merged_chains.cc.o.d"
+  "bench_merged_chains"
+  "bench_merged_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merged_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qsort_nonlinear.dir/bench_qsort_nonlinear.cc.o"
+  "CMakeFiles/bench_qsort_nonlinear.dir/bench_qsort_nonlinear.cc.o.d"
+  "bench_qsort_nonlinear"
+  "bench_qsort_nonlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qsort_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scsg_split.dir/bench_scsg_split.cc.o"
+  "CMakeFiles/bench_scsg_split.dir/bench_scsg_split.cc.o.d"
+  "bench_scsg_split"
+  "bench_scsg_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scsg_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sg_magic.dir/bench_sg_magic.cc.o"
+  "CMakeFiles/bench_sg_magic.dir/bench_sg_magic.cc.o.d"
+  "bench_sg_magic"
+  "bench_sg_magic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sg_magic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_split_threshold.dir/bench_split_threshold.cc.o"
+  "CMakeFiles/bench_split_threshold.dir/bench_split_threshold.cc.o.d"
+  "bench_split_threshold"
+  "bench_split_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_split_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_travel_partial.dir/bench_travel_partial.cc.o"
+  "CMakeFiles/bench_travel_partial.dir/bench_travel_partial.cc.o.d"
+  "bench_travel_partial"
+  "bench_travel_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_travel_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_scsg.dir/family_scsg.cc.o"
+  "CMakeFiles/family_scsg.dir/family_scsg.cc.o.d"
+  "family_scsg"
+  "family_scsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_scsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

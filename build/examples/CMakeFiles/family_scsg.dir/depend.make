@@ -1,0 +1,2 @@
+# Empty dependencies file for family_scsg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ast.cc" "src/CMakeFiles/cs_ast.dir/ast/ast.cc.o" "gcc" "src/CMakeFiles/cs_ast.dir/ast/ast.cc.o.d"
+  "/root/repo/src/ast/parser.cc" "src/CMakeFiles/cs_ast.dir/ast/parser.cc.o" "gcc" "src/CMakeFiles/cs_ast.dir/ast/parser.cc.o.d"
+  "/root/repo/src/ast/printer.cc" "src/CMakeFiles/cs_ast.dir/ast/printer.cc.o" "gcc" "src/CMakeFiles/cs_ast.dir/ast/printer.cc.o.d"
+  "/root/repo/src/ast/symbols.cc" "src/CMakeFiles/cs_ast.dir/ast/symbols.cc.o" "gcc" "src/CMakeFiles/cs_ast.dir/ast/symbols.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

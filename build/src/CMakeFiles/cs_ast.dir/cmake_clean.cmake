@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_ast.dir/ast/ast.cc.o"
+  "CMakeFiles/cs_ast.dir/ast/ast.cc.o.d"
+  "CMakeFiles/cs_ast.dir/ast/parser.cc.o"
+  "CMakeFiles/cs_ast.dir/ast/parser.cc.o.d"
+  "CMakeFiles/cs_ast.dir/ast/printer.cc.o"
+  "CMakeFiles/cs_ast.dir/ast/printer.cc.o.d"
+  "CMakeFiles/cs_ast.dir/ast/symbols.cc.o"
+  "CMakeFiles/cs_ast.dir/ast/symbols.cc.o.d"
+  "libcs_ast.a"
+  "libcs_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_common.dir/common/status.cc.o"
+  "CMakeFiles/cs_common.dir/common/status.cc.o.d"
+  "CMakeFiles/cs_common.dir/common/strings.cc.o"
+  "CMakeFiles/cs_common.dir/common/strings.cc.o.d"
+  "libcs_common.a"
+  "libcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

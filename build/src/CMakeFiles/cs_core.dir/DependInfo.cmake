@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounded.cc" "src/CMakeFiles/cs_core.dir/core/bounded.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/bounded.cc.o.d"
+  "/root/repo/src/core/buffered.cc" "src/CMakeFiles/cs_core.dir/core/buffered.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/buffered.cc.o.d"
+  "/root/repo/src/core/chain_compile.cc" "src/CMakeFiles/cs_core.dir/core/chain_compile.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/chain_compile.cc.o.d"
+  "/root/repo/src/core/chain_eval.cc" "src/CMakeFiles/cs_core.dir/core/chain_eval.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/chain_eval.cc.o.d"
+  "/root/repo/src/core/classify.cc" "src/CMakeFiles/cs_core.dir/core/classify.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/classify.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/cs_core.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/counting.cc" "src/CMakeFiles/cs_core.dir/core/counting.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/counting.cc.o.d"
+  "/root/repo/src/core/finiteness.cc" "src/CMakeFiles/cs_core.dir/core/finiteness.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/finiteness.cc.o.d"
+  "/root/repo/src/core/partial.cc" "src/CMakeFiles/cs_core.dir/core/partial.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/partial.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/cs_core.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/rectify.cc" "src/CMakeFiles/cs_core.dir/core/rectify.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/rectify.cc.o.d"
+  "/root/repo/src/core/split_decision.cc" "src/CMakeFiles/cs_core.dir/core/split_decision.cc.o" "gcc" "src/CMakeFiles/cs_core.dir/core/split_decision.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

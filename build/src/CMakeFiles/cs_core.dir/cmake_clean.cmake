@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_core.dir/core/bounded.cc.o"
+  "CMakeFiles/cs_core.dir/core/bounded.cc.o.d"
+  "CMakeFiles/cs_core.dir/core/buffered.cc.o"
+  "CMakeFiles/cs_core.dir/core/buffered.cc.o.d"
+  "CMakeFiles/cs_core.dir/core/chain_compile.cc.o"
+  "CMakeFiles/cs_core.dir/core/chain_compile.cc.o.d"
+  "CMakeFiles/cs_core.dir/core/chain_eval.cc.o"
+  "CMakeFiles/cs_core.dir/core/chain_eval.cc.o.d"
+  "CMakeFiles/cs_core.dir/core/classify.cc.o"
+  "CMakeFiles/cs_core.dir/core/classify.cc.o.d"
+  "CMakeFiles/cs_core.dir/core/cost_model.cc.o"
+  "CMakeFiles/cs_core.dir/core/cost_model.cc.o.d"
+  "CMakeFiles/cs_core.dir/core/counting.cc.o"
+  "CMakeFiles/cs_core.dir/core/counting.cc.o.d"
+  "CMakeFiles/cs_core.dir/core/finiteness.cc.o"
+  "CMakeFiles/cs_core.dir/core/finiteness.cc.o.d"
+  "CMakeFiles/cs_core.dir/core/partial.cc.o"
+  "CMakeFiles/cs_core.dir/core/partial.cc.o.d"
+  "CMakeFiles/cs_core.dir/core/planner.cc.o"
+  "CMakeFiles/cs_core.dir/core/planner.cc.o.d"
+  "CMakeFiles/cs_core.dir/core/rectify.cc.o"
+  "CMakeFiles/cs_core.dir/core/rectify.cc.o.d"
+  "CMakeFiles/cs_core.dir/core/split_decision.cc.o"
+  "CMakeFiles/cs_core.dir/core/split_decision.cc.o.d"
+  "libcs_core.a"
+  "libcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/adornment.cc" "src/CMakeFiles/cs_engine.dir/engine/adornment.cc.o" "gcc" "src/CMakeFiles/cs_engine.dir/engine/adornment.cc.o.d"
+  "/root/repo/src/engine/builtins.cc" "src/CMakeFiles/cs_engine.dir/engine/builtins.cc.o" "gcc" "src/CMakeFiles/cs_engine.dir/engine/builtins.cc.o.d"
+  "/root/repo/src/engine/grounder.cc" "src/CMakeFiles/cs_engine.dir/engine/grounder.cc.o" "gcc" "src/CMakeFiles/cs_engine.dir/engine/grounder.cc.o.d"
+  "/root/repo/src/engine/magic.cc" "src/CMakeFiles/cs_engine.dir/engine/magic.cc.o" "gcc" "src/CMakeFiles/cs_engine.dir/engine/magic.cc.o.d"
+  "/root/repo/src/engine/seminaive.cc" "src/CMakeFiles/cs_engine.dir/engine/seminaive.cc.o" "gcc" "src/CMakeFiles/cs_engine.dir/engine/seminaive.cc.o.d"
+  "/root/repo/src/engine/topdown.cc" "src/CMakeFiles/cs_engine.dir/engine/topdown.cc.o" "gcc" "src/CMakeFiles/cs_engine.dir/engine/topdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_engine.dir/engine/adornment.cc.o"
+  "CMakeFiles/cs_engine.dir/engine/adornment.cc.o.d"
+  "CMakeFiles/cs_engine.dir/engine/builtins.cc.o"
+  "CMakeFiles/cs_engine.dir/engine/builtins.cc.o.d"
+  "CMakeFiles/cs_engine.dir/engine/grounder.cc.o"
+  "CMakeFiles/cs_engine.dir/engine/grounder.cc.o.d"
+  "CMakeFiles/cs_engine.dir/engine/magic.cc.o"
+  "CMakeFiles/cs_engine.dir/engine/magic.cc.o.d"
+  "CMakeFiles/cs_engine.dir/engine/seminaive.cc.o"
+  "CMakeFiles/cs_engine.dir/engine/seminaive.cc.o.d"
+  "CMakeFiles/cs_engine.dir/engine/topdown.cc.o"
+  "CMakeFiles/cs_engine.dir/engine/topdown.cc.o.d"
+  "libcs_engine.a"
+  "libcs_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

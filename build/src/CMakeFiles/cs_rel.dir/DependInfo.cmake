@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/catalog.cc" "src/CMakeFiles/cs_rel.dir/rel/catalog.cc.o" "gcc" "src/CMakeFiles/cs_rel.dir/rel/catalog.cc.o.d"
+  "/root/repo/src/rel/csv.cc" "src/CMakeFiles/cs_rel.dir/rel/csv.cc.o" "gcc" "src/CMakeFiles/cs_rel.dir/rel/csv.cc.o.d"
+  "/root/repo/src/rel/ops.cc" "src/CMakeFiles/cs_rel.dir/rel/ops.cc.o" "gcc" "src/CMakeFiles/cs_rel.dir/rel/ops.cc.o.d"
+  "/root/repo/src/rel/relation.cc" "src/CMakeFiles/cs_rel.dir/rel/relation.cc.o" "gcc" "src/CMakeFiles/cs_rel.dir/rel/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

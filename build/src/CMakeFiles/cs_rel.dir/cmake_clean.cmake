@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_rel.dir/rel/catalog.cc.o"
+  "CMakeFiles/cs_rel.dir/rel/catalog.cc.o.d"
+  "CMakeFiles/cs_rel.dir/rel/csv.cc.o"
+  "CMakeFiles/cs_rel.dir/rel/csv.cc.o.d"
+  "CMakeFiles/cs_rel.dir/rel/ops.cc.o"
+  "CMakeFiles/cs_rel.dir/rel/ops.cc.o.d"
+  "CMakeFiles/cs_rel.dir/rel/relation.cc.o"
+  "CMakeFiles/cs_rel.dir/rel/relation.cc.o.d"
+  "libcs_rel.a"
+  "libcs_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/term/list_utils.cc" "src/CMakeFiles/cs_term.dir/term/list_utils.cc.o" "gcc" "src/CMakeFiles/cs_term.dir/term/list_utils.cc.o.d"
+  "/root/repo/src/term/term.cc" "src/CMakeFiles/cs_term.dir/term/term.cc.o" "gcc" "src/CMakeFiles/cs_term.dir/term/term.cc.o.d"
+  "/root/repo/src/term/unify.cc" "src/CMakeFiles/cs_term.dir/term/unify.cc.o" "gcc" "src/CMakeFiles/cs_term.dir/term/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_term.dir/term/list_utils.cc.o"
+  "CMakeFiles/cs_term.dir/term/list_utils.cc.o.d"
+  "CMakeFiles/cs_term.dir/term/term.cc.o"
+  "CMakeFiles/cs_term.dir/term/term.cc.o.d"
+  "CMakeFiles/cs_term.dir/term/unify.cc.o"
+  "CMakeFiles/cs_term.dir/term/unify.cc.o.d"
+  "libcs_term.a"
+  "libcs_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

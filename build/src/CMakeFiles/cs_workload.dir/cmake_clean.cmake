@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_workload.dir/workload/family_gen.cc.o"
+  "CMakeFiles/cs_workload.dir/workload/family_gen.cc.o.d"
+  "CMakeFiles/cs_workload.dir/workload/flight_gen.cc.o"
+  "CMakeFiles/cs_workload.dir/workload/flight_gen.cc.o.d"
+  "CMakeFiles/cs_workload.dir/workload/graph_gen.cc.o"
+  "CMakeFiles/cs_workload.dir/workload/graph_gen.cc.o.d"
+  "CMakeFiles/cs_workload.dir/workload/list_gen.cc.o"
+  "CMakeFiles/cs_workload.dir/workload/list_gen.cc.o.d"
+  "libcs_workload.a"
+  "libcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffered_test.dir/buffered_test.cc.o"
+  "CMakeFiles/buffered_test.dir/buffered_test.cc.o.d"
+  "buffered_test"
+  "buffered_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

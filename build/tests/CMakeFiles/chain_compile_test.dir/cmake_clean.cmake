@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_compile_test.dir/chain_compile_test.cc.o"
+  "CMakeFiles/chain_compile_test.dir/chain_compile_test.cc.o.d"
+  "chain_compile_test"
+  "chain_compile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

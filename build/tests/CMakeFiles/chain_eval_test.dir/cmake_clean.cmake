@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_eval_test.dir/chain_eval_test.cc.o"
+  "CMakeFiles/chain_eval_test.dir/chain_eval_test.cc.o.d"
+  "chain_eval_test"
+  "chain_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

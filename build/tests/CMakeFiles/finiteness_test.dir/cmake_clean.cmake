@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finiteness_test.dir/finiteness_test.cc.o"
+  "CMakeFiles/finiteness_test.dir/finiteness_test.cc.o.d"
+  "finiteness_test"
+  "finiteness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finiteness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

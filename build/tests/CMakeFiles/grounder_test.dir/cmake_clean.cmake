@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grounder_test.dir/grounder_test.cc.o"
+  "CMakeFiles/grounder_test.dir/grounder_test.cc.o.d"
+  "grounder_test"
+  "grounder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grounder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_utils_test.dir/list_utils_test.cc.o"
+  "CMakeFiles/list_utils_test.dir/list_utils_test.cc.o.d"
+  "list_utils_test"
+  "list_utils_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

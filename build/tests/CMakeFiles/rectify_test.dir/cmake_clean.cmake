@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rectify_test.dir/rectify_test.cc.o"
+  "CMakeFiles/rectify_test.dir/rectify_test.cc.o.d"
+  "rectify_test"
+  "rectify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rectify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

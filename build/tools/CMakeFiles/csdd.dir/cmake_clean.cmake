@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdd.dir/csdd.cc.o"
+  "CMakeFiles/csdd.dir/csdd.cc.o.d"
+  "csdd"
+  "csdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(csdd_shell_query "bash" "-c" "printf 'parent(a,b).\\ntc(X,Y) :- parent(X,Y).\\ntc(X,Y) :- parent(X,Z), tc(Z,Y).\\nparent(b,c).\\n?- tc(a, Y).\\n:quit\\n' | /root/repo/build/tools/csdd | grep -q 'Y = c'")
+set_tests_properties(csdd_shell_query PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(csdd_loads_program_file "bash" "-c" "printf '?- travel(L, montreal, ottawa, F), F =< 600.\\n:quit\\n' | /root/repo/build/tools/csdd /root/repo/tools/../examples/programs/travel.dl | grep -q 'F = 450'")
+set_tests_properties(csdd_loads_program_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(csdd_reports_parse_errors "bash" "-c" "printf 'p(a&.\\n:quit\\n' | /root/repo/build/tools/csdd | grep -q 'parse error'")
+set_tests_properties(csdd_reports_parse_errors PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
