@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and drops one BENCH_<name>.json per binary
+# into the output directory.
+#
+# Usage: bench/run_benchmarks.sh [build_dir] [out_dir] [bench...]
+#   build_dir  cmake build tree containing bench/ (default: build)
+#   out_dir    where BENCH_<name>.json files land (default: .)
+#   bench...   subset of benchmarks to run, by name with or without the
+#              bench_ prefix (default: every bench_* binary found)
+#
+# The JSON is written with --benchmark_out, NOT --benchmark_format:
+# several benches print an explanatory banner on stdout which would
+# corrupt a stdout JSON stream.
+set -euo pipefail
+
+build_dir=${1:-build}
+out_dir=${2:-.}
+shift $(( $# > 2 ? 2 : $# ))
+
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "error: $build_dir/bench not found; build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+mkdir -p "$out_dir"
+
+benches=()
+if [[ $# -gt 0 ]]; then
+  for name in "$@"; do
+    [[ $name == bench_* ]] || name="bench_$name"
+    benches+=("$build_dir/bench/$name")
+  done
+else
+  for bin in "$build_dir"/bench/bench_*; do
+    [[ -x $bin && ! -d $bin ]] && benches+=("$bin")
+  done
+fi
+
+status=0
+for bin in "${benches[@]}"; do
+  name=$(basename "$bin")
+  out="$out_dir/BENCH_${name#bench_}.json"
+  echo "== $name -> $out"
+  if ! "$bin" --benchmark_out="$out" --benchmark_out_format=json; then
+    echo "error: $name failed" >&2
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,62 @@
+#ifndef CHAINSPLIT_COMMON_THREAD_POOL_H_
+#define CHAINSPLIT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chainsplit {
+
+/// A small fixed-size work-queue thread pool for data-parallel
+/// relational operators (see HashJoin in rel/ops.cc).
+///
+/// Usage contract: one orchestrating thread Submits tasks and calls
+/// Wait(); tasks must not throw and must not Submit recursively.
+/// Determinism is the caller's job — partition work into chunks, give
+/// each chunk private output storage, and merge in chunk order after
+/// Wait() returns.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on a worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Splits [begin, end) into at most size() contiguous chunks of at
+  /// least `min_grain` items and runs `body(chunk_begin, chunk_end)`
+  /// on the workers, blocking until all chunks are done. Runs inline
+  /// when the range is below min_grain or the pool has one thread.
+  void ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  /// Process-wide pool, sized to the hardware, created on first use.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task or stop
+  std::condition_variable idle_cv_;  // signals Wait(): all drained
+  std::deque<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_COMMON_THREAD_POOL_H_

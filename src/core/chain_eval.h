@@ -13,6 +13,12 @@ struct TcStats {
   int64_t iterations = 0;
   int64_t tuples = 0;        // result size
   int64_t delta_tuples = 0;  // total delta work
+  // Storage-layer telemetry (see Relation::Telemetry): edge probes
+  // issued, open-addressing collision steps across edge/result/deltas,
+  // and the result relation's arena footprint.
+  int64_t probes = 0;
+  int64_t hash_collisions = 0;
+  int64_t arena_bytes = 0;
 };
 
 /// Chain-following evaluation of a single binary chain [10]: semi-naive

@@ -14,7 +14,7 @@ bool HoldsWithFanout(const Relation& relation,
   std::unordered_map<Tuple, std::unordered_set<TermId>, TupleHash> targets;
   Tuple key(constraint.source_columns.size());
   for (int64_t i = 0; i < relation.num_rows(); ++i) {
-    const Tuple& row = relation.row(i);
+    Relation::Row row = relation.row(i);
     for (size_t c = 0; c < constraint.source_columns.size(); ++c) {
       key[c] = row[constraint.source_columns[c]];
     }

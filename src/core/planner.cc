@@ -251,7 +251,7 @@ class PlanRun {
     const Relation* rel = db_->GetRelation(magic.answer_pred);
     if (rel != nullptr) {
       for (int64_t i = 0; i < rel->num_rows(); ++i) {
-        const Tuple& row = rel->row(i);
+        Relation::Row row = rel->row(i);
         bool match = true;
         for (size_t a = 0; a < main_goal_.args.size() && match; ++a) {
           if (pool_.IsGround(main_goal_.args[a])) {

@@ -190,7 +190,8 @@ class RuleRun {
         delta_(delta),
         out_(out),
         counters_(counters),
-        slots_(rule.slot_vars.size(), kNullTerm) {}
+        slots_(rule.slot_vars.size(), kNullTerm),
+        probe_scratch_(rule.order.size()) {}
 
   Status Run() { return Recurse(0); }
 
@@ -266,20 +267,24 @@ class RuleRun {
         lit_index == delta_literal_ ? delta_ : rel_for_(lit.pred);
     if (rel == nullptr || rel->empty()) return Status::Ok();
 
-    // Probe on the bound columns when there are any.
-    std::vector<int> bound_columns;
-    Tuple key;
+    // Probe on the bound columns when there are any. The scratch
+    // buffers are per recursion depth, so nested literals reuse their
+    // own without allocating on every binding.
+    ProbeScratch& scratch = probe_scratch_[pos];
+    scratch.columns.clear();
+    scratch.key.clear();
     for (size_t c = 0; c < lit.args.size(); ++c) {
       TermId v = ArgValue(lit.args[c]);
       if (v != kNullTerm) {
-        bound_columns.push_back(static_cast<int>(c));
-        key.push_back(v);
+        scratch.columns.push_back(static_cast<int>(c));
+        scratch.key.push_back(v);
       }
     }
 
-    auto try_row = [&](const Tuple& row) -> Status {
+    auto try_row = [&](Relation::Row row) -> Status {
       ++counters_->tuples_considered;
-      std::vector<int> bound_here;
+      std::vector<int>& bound_here = probe_scratch_[pos].bound_slots;
+      bound_here.clear();
       bool match = true;
       for (size_t c = 0; c < lit.args.size(); ++c) {
         const ArgPattern& p = lit.args[c];
@@ -295,21 +300,34 @@ class RuleRun {
         }
       }
       Status status = match ? Recurse(pos + 1) : Status::Ok();
-      for (int slot : bound_here) slots_[slot] = kNullTerm;
+      for (int slot : probe_scratch_[pos].bound_slots) {
+        slots_[slot] = kNullTerm;
+      }
       return status;
     };
 
-    if (bound_columns.empty()) {
+    if (scratch.columns.empty()) {
       for (int64_t i = 0; i < rel->num_rows(); ++i) {
         CS_RETURN_IF_ERROR(try_row(rel->row(i)));
       }
     } else {
-      for (int64_t i : rel->Probe(bound_columns, key)) {
-        CS_RETURN_IF_ERROR(try_row(rel->row(i)));
-      }
+      Status status = Status::Ok();
+      rel->ProbeEach(scratch.columns, scratch.key.data(), [&](int64_t i) {
+        if (!status.ok()) return;
+        status = try_row(rel->row(i));
+      });
+      CS_RETURN_IF_ERROR(status);
     }
     return Status::Ok();
   }
+
+  /// Reusable probe buffers, one set per scheduled literal position so
+  /// the nested join never allocates per binding.
+  struct ProbeScratch {
+    std::vector<int> columns;
+    Tuple key;
+    std::vector<int> bound_slots;
+  };
 
   TermPool& pool_;
   const PredicateTable& preds_;
@@ -320,6 +338,7 @@ class RuleRun {
   Relation* out_;
   EvalCounters* counters_;
   std::vector<TermId> slots_;
+  std::vector<ProbeScratch> probe_scratch_;
 };
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "rel/ops.h"
 
 namespace chainsplit {
 namespace {
@@ -17,6 +18,30 @@ struct RuleVariants {
   std::vector<CompiledRule> delta_form;  // parallel to idb_literals
 };
 
+/// Running sum of Relation telemetry counters.
+struct TelemetrySum {
+  int64_t probes = 0;
+  int64_t collisions = 0;
+  int64_t arena = 0;
+
+  void Add(const Relation& rel) {
+    Relation::Telemetry t = rel.telemetry();
+    probes += t.probes;
+    collisions += t.hash_collisions;
+    arena += t.arena_bytes;
+  }
+};
+
+/// Sums telemetry over every stored relation of `db`.
+TelemetrySum DatabaseTelemetry(const Database& db) {
+  TelemetrySum sum;
+  for (PredId pred : db.StoredPredicates()) {
+    const Relation* rel = db.GetRelation(pred);
+    if (rel != nullptr) sum.Add(*rel);
+  }
+  return sum;
+}
+
 }  // namespace
 
 Status SemiNaiveEvaluate(Database* db, const std::vector<Rule>& rules,
@@ -24,6 +49,14 @@ Status SemiNaiveEvaluate(Database* db, const std::vector<Rule>& rules,
                          SemiNaiveStats* stats) {
   *stats = SemiNaiveStats{};
   Program& program = db->program();
+
+  // Storage-telemetry baseline: relation counters are cumulative over
+  // each relation's lifetime, so report deltas against the state at
+  // entry. Scratch and delta relations are created below and folded in
+  // as they are consumed.
+  const int64_t parallel_batches_before = ParallelJoinBatches();
+  const TelemetrySum db_before = DatabaseTelemetry(*db);
+  TelemetrySum scratch_sum;
 
   std::unordered_set<PredId> idb;
   for (const Rule& rule : rules) idb.insert(rule.head.pred);
@@ -71,6 +104,7 @@ Status SemiNaiveEvaluate(Database* db, const std::vector<Rule>& rules,
     for (int64_t i = 0; i < scratch.num_rows(); ++i) {
       if (total->Insert(scratch.row(i))) ++stats->total_derived;
     }
+    scratch_sum.Add(scratch);
   }
   for (PredId pred : idb) {
     const Relation* total = db->GetRelation(pred);
@@ -114,6 +148,7 @@ Status SemiNaiveEvaluate(Database* db, const std::vector<Rule>& rules,
           nd.Insert(scratch.row(i));
         }
       }
+      scratch_sum.Add(scratch);
     }
     if (stats->total_derived > options.max_tuples) {
       return ResourceExhaustedError(
@@ -121,6 +156,20 @@ Status SemiNaiveEvaluate(Database* db, const std::vector<Rule>& rules,
     }
     std::swap(delta, next_delta);
   }
+
+  TelemetrySum db_after = DatabaseTelemetry(*db);
+  TelemetrySum deltas;
+  for (const auto& [pred, rel] : delta) deltas.Add(rel);
+  for (const auto& [pred, rel] : next_delta) deltas.Add(rel);
+  stats->storage.probes =
+      db_after.probes - db_before.probes + scratch_sum.probes +
+      deltas.probes;
+  stats->storage.hash_collisions = db_after.collisions -
+                                   db_before.collisions +
+                                   scratch_sum.collisions + deltas.collisions;
+  stats->storage.arena_bytes = db_after.arena + deltas.arena;
+  stats->storage.parallel_batches =
+      ParallelJoinBatches() - parallel_batches_before;
   return Status::Ok();
 }
 

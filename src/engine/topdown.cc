@@ -1,5 +1,8 @@
 #include "engine/topdown.h"
 
+#include <pthread.h>
+
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -91,7 +94,7 @@ class TopDownEvaluator::Impl {
       }
     }
 
-    auto try_row = [&](const Tuple& row) -> Status {
+    auto try_row = [&](Relation::Row row) -> Status {
       size_t mark = subst_.LogSize();
       bool ok = true;
       for (size_t c = 0; c < row.size() && ok; ++c) {
@@ -107,10 +110,12 @@ class TopDownEvaluator::Impl {
         CS_RETURN_IF_ERROR(try_row(rel->row(i)));
       }
     } else {
-      for (int64_t i : rel->Probe(bound_columns, key)) {
-        if (Done()) break;
-        CS_RETURN_IF_ERROR(try_row(rel->row(i)));
-      }
+      Status status = Status::Ok();
+      rel->ProbeEach(bound_columns, key.data(), [&](int64_t i) {
+        if (!status.ok() || Done()) return;
+        status = try_row(rel->row(i));
+      });
+      CS_RETURN_IF_ERROR(status);
     }
     return Status::Ok();
   }
@@ -159,11 +164,39 @@ class TopDownEvaluator::Impl {
 TopDownEvaluator::TopDownEvaluator(Database* db, TopDownOptions options)
     : db_(db), options_(options) {}
 
+namespace {
+
+/// SLD resolution recurses one C++ frame chain per goal expansion, so
+/// provable depth is bounded by stack size, not max_depth. Run the
+/// prover on a dedicated thread with an explicit large stack: deep but
+/// legal proofs (and sanitizer builds, whose frames are several times
+/// larger) must not depend on the caller's RLIMIT_STACK. Reserved
+/// address space only — pages are committed on use.
+constexpr size_t kProverStackBytes = size_t{256} << 20;
+
+void* ProverTrampoline(void* arg) {
+  (*static_cast<std::function<void()>*>(arg))();
+  return nullptr;
+}
+
+}  // namespace
+
 Status TopDownEvaluator::Solve(
     const std::vector<Atom>& goals,
     const std::function<void(const Substitution&)>& on_solution) {
   Impl impl(db_, options_, &stats_, on_solution);
-  return impl.Run(goals);
+  Status result = Status::Ok();
+  std::function<void()> run = [&] { result = impl.Run(goals); };
+  pthread_attr_t attr;
+  pthread_t prover;
+  if (pthread_attr_init(&attr) != 0) return impl.Run(goals);
+  const bool spawned =
+      pthread_attr_setstacksize(&attr, kProverStackBytes) == 0 &&
+      pthread_create(&prover, &attr, ProverTrampoline, &run) == 0;
+  pthread_attr_destroy(&attr);
+  if (!spawned) return impl.Run(goals);  // fall back to this stack
+  pthread_join(prover, nullptr);
+  return result;
 }
 
 StatusOr<std::vector<std::vector<TermId>>> TopDownEvaluator::Answers(

@@ -12,7 +12,7 @@ RelationStats ComputeStats(const Relation& relation) {
   stats.distinct.assign(relation.arity(), 0);
   std::vector<std::unordered_set<TermId>> seen(relation.arity());
   for (int64_t i = 0; i < relation.num_rows(); ++i) {
-    const Tuple& t = relation.row(i);
+    Relation::Row t = relation.row(i);
     for (int c = 0; c < relation.arity(); ++c) seen[c].insert(t[c]);
   }
   for (int c = 0; c < relation.arity(); ++c) {

@@ -75,7 +75,7 @@ StatusOr<std::string> DumpFactsToString(const Database& db, PredId pred,
   if (relation == nullptr) return out;
   const TermPool& pool = db.pool();
   for (int64_t i = 0; i < relation->num_rows(); ++i) {
-    const Tuple& t = relation->row(i);
+    Relation::Row t = relation->row(i);
     for (size_t c = 0; c < t.size(); ++c) {
       if (c > 0) out.push_back(options.delimiter);
       out += pool.ToString(t[c]);

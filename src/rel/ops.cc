@@ -1,67 +1,156 @@
 #include "rel/ops.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace chainsplit {
+namespace {
 
-void HashJoin(const Relation& left, const Relation& right,
-              const std::vector<JoinKey>& keys,
-              const std::vector<int>& output_columns, Relation* out) {
+/// Probe-side rows required before HashJoin partitions across the
+/// shared pool. Below it the join runs single-threaded, so small
+/// inputs (and unit tests) never touch the pool.
+std::atomic<int64_t> g_parallel_join_min_rows{16384};
+std::atomic<int64_t> g_parallel_join_batches{0};
+
+/// Builds one output row of the join and inserts it. `combined` and
+/// `result` are caller-provided scratch to keep this allocation-free.
+inline void EmitJoined(Relation::Row l, Relation::Row r, int left_arity,
+                       const std::vector<int>& output_columns,
+                       Tuple* combined, Tuple* result, Relation* out) {
+  std::copy(l.begin(), l.end(), combined->begin());
+  std::copy(r.begin(), r.end(), combined->begin() + left_arity);
+  for (size_t i = 0; i < output_columns.size(); ++i) {
+    (*result)[i] = (*combined)[output_columns[i]];
+  }
+  out->Insert(*result);
+}
+
+/// The sequential probe loop over left rows [begin, end).
+void ProbeRange(const Relation& left, const Relation& right,
+                const JoinSpec& spec, const std::vector<int>& output_columns,
+                int64_t begin, int64_t end,
+                Relation::ProbeCounters* counters, Relation* out) {
   const int left_arity = left.arity();
   Tuple combined(left_arity + right.arity());
   Tuple result(output_columns.size());
-
-  auto emit = [&](const Tuple& l, const Tuple& r) {
-    std::copy(l.begin(), l.end(), combined.begin());
-    std::copy(r.begin(), r.end(), combined.begin() + left_arity);
-    for (size_t i = 0; i < output_columns.size(); ++i) {
-      result[i] = combined[output_columns[i]];
+  Tuple key(spec.keys.size());
+  for (int64_t i = begin; i < end; ++i) {
+    Relation::Row l = left.row(i);
+    for (size_t k = 0; k < spec.keys.size(); ++k) {
+      key[k] = l[spec.keys[k].left_column];
     }
-    out->Insert(result);
-  };
+    right.ProbeEachShared(spec.right_columns, key.data(), counters,
+                          [&](int64_t j) {
+                            EmitJoined(l, right.row(j), left_arity,
+                                       output_columns, &combined, &result,
+                                       out);
+                          });
+  }
+}
 
-  if (keys.empty()) {
+}  // namespace
+
+JoinSpec::JoinSpec(std::vector<JoinKey> join_keys)
+    : keys(std::move(join_keys)) {
+  std::sort(keys.begin(), keys.end(), [](const JoinKey& a, const JoinKey& b) {
+    return a.right_column < b.right_column;
+  });
+  right_columns.reserve(keys.size());
+  for (const JoinKey& k : keys) right_columns.push_back(k.right_column);
+}
+
+int64_t SetParallelJoinMinRows(int64_t min_rows) {
+  return g_parallel_join_min_rows.exchange(min_rows);
+}
+
+int64_t ParallelJoinBatches() {
+  return g_parallel_join_batches.load(std::memory_order_relaxed);
+}
+
+void HashJoin(const Relation& left, const Relation& right,
+              const JoinSpec& spec, const std::vector<int>& output_columns,
+              Relation* out) {
+  HashJoin(left, right, spec, output_columns, out, &ThreadPool::Shared());
+}
+
+void HashJoin(const Relation& left, const Relation& right,
+              const JoinSpec& spec, const std::vector<int>& output_columns,
+              Relation* out, ThreadPool* pool) {
+  CS_DCHECK(out != &left && out != &right)
+      << "HashJoin output must be a distinct relation";
+  if (spec.keys.empty()) {
     // Cross product.
+    const int left_arity = left.arity();
+    Tuple combined(left_arity + right.arity());
+    Tuple result(output_columns.size());
     for (int64_t i = 0; i < left.num_rows(); ++i) {
       for (int64_t j = 0; j < right.num_rows(); ++j) {
-        emit(left.row(i), right.row(j));
+        EmitJoined(left.row(i), right.row(j), left_arity, output_columns,
+                   &combined, &result, out);
       }
     }
     return;
   }
 
-  std::vector<int> right_columns;
-  right_columns.reserve(keys.size());
-  for (const JoinKey& k : keys) right_columns.push_back(k.right_column);
-  // Probe requires sorted columns; sort keys jointly so left/right stay
-  // aligned.
-  std::vector<JoinKey> sorted_keys = keys;
-  std::sort(sorted_keys.begin(), sorted_keys.end(),
-            [](const JoinKey& a, const JoinKey& b) {
-              return a.right_column < b.right_column;
-            });
-  right_columns.clear();
-  for (const JoinKey& k : sorted_keys) right_columns.push_back(k.right_column);
+  right.EnsureIndex(spec.right_columns);
 
-  Tuple key(sorted_keys.size());
-  for (int64_t i = 0; i < left.num_rows(); ++i) {
-    const Tuple& l = left.row(i);
-    for (size_t k = 0; k < sorted_keys.size(); ++k) {
-      key[k] = l[sorted_keys[k].left_column];
+  const int64_t n = left.num_rows();
+  const int64_t min_rows =
+      g_parallel_join_min_rows.load(std::memory_order_relaxed);
+  if (pool->size() > 1 && n >= min_rows) {
+    // Partition the probe side into contiguous chunks with private
+    // outputs; merging in chunk order reproduces the sequential
+    // first-occurrence order exactly.
+    const int64_t chunks =
+        std::min<int64_t>(pool->size(), std::max<int64_t>(1, n / 1024));
+    const int64_t chunk = (n + chunks - 1) / chunks;
+    std::vector<Relation> partials;
+    std::vector<Relation::ProbeCounters> counters(
+        static_cast<size_t>(chunks));
+    partials.reserve(static_cast<size_t>(chunks));
+    for (int64_t c = 0; c < chunks; ++c) {
+      partials.emplace_back(static_cast<int>(output_columns.size()));
     }
-    for (int64_t j : right.Probe(right_columns, key)) {
-      emit(l, right.row(j));
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t b = c * chunk;
+      const int64_t e = std::min(n, b + chunk);
+      if (b >= e) break;
+      pool->Submit([&, c, b, e] {
+        ProbeRange(left, right, spec, output_columns, b, e, &counters[c],
+                   &partials[c]);
+      });
     }
+    pool->Wait();
+    g_parallel_join_batches.fetch_add(1, std::memory_order_relaxed);
+    for (int64_t c = 0; c < chunks; ++c) {
+      right.MergeProbeCounters(counters[c]);
+      out->UnionWith(partials[c]);
+    }
+    return;
   }
+
+  Relation::ProbeCounters counters;
+  ProbeRange(left, right, spec, output_columns, 0, n, &counters, out);
+  right.MergeProbeCounters(counters);
+}
+
+void HashJoin(const Relation& left, const Relation& right,
+              const std::vector<JoinKey>& keys,
+              const std::vector<int>& output_columns, Relation* out) {
+  HashJoin(left, right, JoinSpec(keys), output_columns, out);
 }
 
 void Select(const Relation& in,
             const std::function<bool(const Tuple&)>& predicate,
             Relation* out) {
+  Tuple scratch(in.arity());
   for (int64_t i = 0; i < in.num_rows(); ++i) {
-    if (predicate(in.row(i))) out->Insert(in.row(i));
+    Relation::Row row = in.row(i);
+    scratch.assign(row.begin(), row.end());
+    if (predicate(scratch)) out->Insert(row);
   }
 }
 
@@ -69,7 +158,7 @@ void Project(const Relation& in, const std::vector<int>& columns,
              Relation* out) {
   Tuple result(columns.size());
   for (int64_t i = 0; i < in.num_rows(); ++i) {
-    const Tuple& t = in.row(i);
+    Relation::Row t = in.row(i);
     for (size_t c = 0; c < columns.size(); ++c) result[c] = t[columns[c]];
     out->Insert(result);
   }

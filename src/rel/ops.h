@@ -1,12 +1,15 @@
 #ifndef CHAINSPLIT_REL_OPS_H_
 #define CHAINSPLIT_REL_OPS_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "rel/relation.h"
 
 namespace chainsplit {
+
+class ThreadPool;
 
 /// Column-pair equality condition for a join: left column == right
 /// column.
@@ -15,14 +18,54 @@ struct JoinKey {
   int right_column;
 };
 
-/// Hash join of `left` and `right` on `keys`. The output tuple is the
+/// A prepared hash-join condition: the keys sorted by right column (the
+/// order Relation::Probe requires) plus the derived probe-column list.
+/// Compute it once per compiled rule / reused join and pass it to
+/// HashJoin to avoid re-sorting on every call.
+struct JoinSpec {
+  std::vector<JoinKey> keys;       // sorted by right_column
+  std::vector<int> right_columns;  // keys[i].right_column, ascending
+
+  // Explicit and no default constructor: brace-initialized HashJoin
+  // key lists keep resolving to the std::vector<JoinKey> overload.
+  explicit JoinSpec(std::vector<JoinKey> join_keys);
+};
+
+/// Hash join of `left` and `right` on `spec`. The output tuple is the
 /// concatenation of the left tuple and the right tuple, projected to
 /// `output_columns` (indexes into that concatenation). With empty
-/// `keys` this is a cross product — the degenerate plan the paper warns
+/// keys this is a cross product — the degenerate plan the paper warns
 /// about when merging unshared chains (§1.1); benchmark E8 measures it.
+///
+/// Above a probe-side row threshold (see SetParallelJoinMinRows) the
+/// probe loop is partitioned across the shared ThreadPool into
+/// thread-local outputs merged in partition order, so the result's
+/// contents *and row order* are identical to the single-threaded path.
+/// `out` must be distinct from `left` and `right`.
+void HashJoin(const Relation& left, const Relation& right,
+              const JoinSpec& spec, const std::vector<int>& output_columns,
+              Relation* out);
+
+/// Convenience overload preparing the JoinSpec on the fly.
 void HashJoin(const Relation& left, const Relation& right,
               const std::vector<JoinKey>& keys,
               const std::vector<int>& output_columns, Relation* out);
+
+/// Pool-explicit variant: runs the partitioned path on `pool` instead
+/// of the process-wide shared pool. Used by tests to exercise the
+/// parallel path with a controlled thread count on any hardware.
+void HashJoin(const Relation& left, const Relation& right,
+              const JoinSpec& spec, const std::vector<int>& output_columns,
+              Relation* out, ThreadPool* pool);
+
+/// Minimum probe-side rows before HashJoin goes parallel. Returns the
+/// previous threshold; tests use this to force either path.
+int64_t SetParallelJoinMinRows(int64_t min_rows);
+
+/// Number of parallel join batches executed process-wide (a batch = one
+/// HashJoin call that took the partitioned path). Monotonic; stats
+/// collectors report deltas.
+int64_t ParallelJoinBatches();
 
 /// Copies the tuples of `in` satisfying `predicate` into `*out`.
 void Select(const Relation& in, const std::function<bool(const Tuple&)>& predicate,

@@ -2,31 +2,160 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
-
 namespace chainsplit {
+namespace {
 
-const std::vector<int64_t> Relation::kEmptyPostings = {};
+/// Open-addressing load limit: grow when occupied * kLoadDen >=
+/// capacity * kLoadNum (i.e. load factor 0.7).
+constexpr size_t kLoadNum = 7;
+constexpr size_t kLoadDen = 10;
+constexpr size_t kMinSlots = 16;
 
-bool Relation::Insert(const Tuple& tuple) {
-  CS_DCHECK(static_cast<int>(tuple.size()) == arity_)
-      << "arity mismatch: got " << tuple.size() << ", want " << arity_;
+size_t NextPow2(size_t n) {
+  size_t p = kMinSlots;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+size_t SlotsFor(size_t rows) {
+  return NextPow2(rows * kLoadDen / kLoadNum + 1);
+}
+
+}  // namespace
+
+void Relation::Reserve(int64_t n) {
+  if (n <= 0) return;
+  arena_.reserve(static_cast<size_t>(n) * arity_);
+  size_t want = SlotsFor(static_cast<size_t>(n));
+  if (want > slots_.size()) GrowDedup(want);
+}
+
+int64_t Relation::FindRow(const TermId* row) const {
+  if (slots_.empty()) return -1;
+  const size_t mask = slots_.size() - 1;
+  size_t idx = RowHash(row) & mask;
+  while (slots_[idx] != kEmpty) {
+    if (RowEquals(slots_[idx], row)) return static_cast<int64_t>(slots_[idx]);
+    ++hash_collisions_;
+    idx = (idx + 1) & mask;
+  }
+  return -1;
+}
+
+void Relation::GrowDedup(size_t min_slots) {
+  size_t capacity = NextPow2(min_slots);
+  slots_.assign(capacity, kEmpty);
+  const size_t mask = capacity - 1;
+  for (int64_t i = 0; i < num_rows_; ++i) {
+    size_t idx = RowHash(RowData(static_cast<uint32_t>(i))) & mask;
+    while (slots_[idx] != kEmpty) idx = (idx + 1) & mask;
+    slots_[idx] = static_cast<uint32_t>(i);
+  }
+}
+
+bool Relation::InsertRow(const TermId* row) {
   ++insert_attempts_;
-  auto [it, inserted] = set_.insert(tuple);
-  if (!inserted) return false;
-  rows_.push_back(&*it);
-  int64_t row_id = static_cast<int64_t>(rows_.size()) - 1;
-  for (Index& index : indexes_) {
-    index.map[KeyAt(tuple, index.columns)].push_back(row_id);
+  if (slots_.empty()) GrowDedup(kMinSlots);
+  const size_t mask = slots_.size() - 1;
+  size_t idx = RowHash(row) & mask;
+  while (slots_[idx] != kEmpty) {
+    if (RowEquals(slots_[idx], row)) return false;
+    ++hash_collisions_;
+    idx = (idx + 1) & mask;
+  }
+  CS_CHECK(num_rows_ < static_cast<int64_t>(kEmpty))
+      << "relation exceeds 2^32-1 rows";
+  // `row` may alias this relation's own arena (self-insertion of a
+  // stored row); vector::insert must not be given a range into itself.
+  const auto src = reinterpret_cast<uintptr_t>(row);
+  const auto lo = reinterpret_cast<uintptr_t>(arena_.data());
+  const auto hi =
+      reinterpret_cast<uintptr_t>(arena_.data() + arena_.size());
+  if (src >= lo && src < hi) {
+    Tuple copy(row, row + arity_);
+    arena_.insert(arena_.end(), copy.begin(), copy.end());
+  } else {
+    arena_.insert(arena_.end(), row, row + arity_);
+  }
+  const uint32_t row_id = static_cast<uint32_t>(num_rows_);
+  slots_[idx] = row_id;
+  ++num_rows_;
+  for (Index& index : indexes_) IndexInsert(&index, row_id);
+  if (static_cast<size_t>(num_rows_) * kLoadDen >=
+      slots_.size() * kLoadNum) {
+    GrowDedup(slots_.size() * 2);
   }
   return true;
 }
 
-Tuple Relation::KeyAt(const Tuple& tuple, const std::vector<int>& columns) {
-  Tuple key;
-  key.reserve(columns.size());
-  for (int c : columns) key.push_back(tuple[c]);
-  return key;
+uint32_t Relation::FindBucketCounted(const Index& index, const TermId* key,
+                                     int64_t* collisions) const {
+  if (index.slots.empty()) return kEmpty;
+  const size_t mask = index.slots.size() - 1;
+  size_t idx = KeyHash(key, index.columns.size()) & mask;
+  while (index.slots[idx] != kEmpty) {
+    const Index::Bucket& bucket = index.buckets[index.slots[idx]];
+    if (RowKeyEquals(bucket.rep, index.columns, key)) return index.slots[idx];
+    ++*collisions;
+    idx = (idx + 1) & mask;
+  }
+  return kEmpty;
+}
+
+void Relation::GrowIndexSlots(Index* index) const {
+  size_t capacity =
+      index->slots.empty() ? kMinSlots : index->slots.size() * 2;
+  capacity = NextPow2(std::max(capacity, SlotsFor(index->buckets.size())));
+  index->slots.assign(capacity, kEmpty);
+  const size_t mask = capacity - 1;
+  for (size_t b = 0; b < index->buckets.size(); ++b) {
+    size_t idx = RowKeyHash(index->buckets[b].rep, index->columns) & mask;
+    while (index->slots[idx] != kEmpty) idx = (idx + 1) & mask;
+    index->slots[idx] = static_cast<uint32_t>(b);
+  }
+}
+
+void Relation::IndexInsert(Index* index, uint32_t row_id) const {
+  if (index->slots.empty()) GrowIndexSlots(index);
+  CS_CHECK(postings_.size() < Postings::kNull) << "posting pool overflow";
+  const size_t mask = index->slots.size() - 1;
+  const TermId* row = RowData(row_id);
+  size_t idx = RowKeyHash(row_id, index->columns) & mask;
+  while (index->slots[idx] != kEmpty) {
+    Index::Bucket& bucket = index->buckets[index->slots[idx]];
+    const TermId* rep = RowData(bucket.rep);
+    bool same = true;
+    for (int c : index->columns) {
+      if (rep[c] != row[c]) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      // Existing key: append into the tail block, unrolling into a new
+      // block when it is full.
+      PostingBlock& tail = postings_[bucket.tail];
+      if (tail.count < PostingBlock::kCapacity) {
+        tail.rows[tail.count++] = row_id;
+      } else {
+        const uint32_t node = static_cast<uint32_t>(postings_.size());
+        postings_.push_back(PostingBlock{{row_id}, 1, Postings::kNull});
+        postings_[bucket.tail].next = node;
+        bucket.tail = node;
+      }
+      ++bucket.count;
+      return;
+    }
+    ++hash_collisions_;
+    idx = (idx + 1) & mask;
+  }
+  const uint32_t node = static_cast<uint32_t>(postings_.size());
+  postings_.push_back(PostingBlock{{row_id}, 1, Postings::kNull});
+  index->slots[idx] = static_cast<uint32_t>(index->buckets.size());
+  index->buckets.push_back(Index::Bucket{node, node, 1, row_id});
+  if (index->buckets.size() * kLoadDen >= index->slots.size() * kLoadNum) {
+    GrowIndexSlots(index);
+  }
 }
 
 Relation::Index& Relation::GetOrBuildIndex(
@@ -34,38 +163,52 @@ Relation::Index& Relation::GetOrBuildIndex(
   for (Index& index : indexes_) {
     if (index.columns == columns) return index;
   }
-  indexes_.push_back(Index{columns, {}});
+  indexes_.push_back(Index{columns, {}, {}});
   Index& index = indexes_.back();
-  for (int64_t i = 0; i < num_rows(); ++i) {
-    index.map[KeyAt(*rows_[i], columns)].push_back(i);
+  index.buckets.reserve(16);
+  for (int64_t i = 0; i < num_rows_; ++i) {
+    IndexInsert(&index, static_cast<uint32_t>(i));
   }
   return index;
 }
 
-const std::vector<int64_t>& Relation::Probe(const std::vector<int>& columns,
-                                            const Tuple& key) const {
+const Relation::Index* Relation::FindIndex(
+    const std::vector<int>& columns) const {
+  for (const Index& index : indexes_) {
+    if (index.columns == columns) return &index;
+  }
+  return nullptr;
+}
+
+Relation::Postings Relation::Probe(const std::vector<int>& columns,
+                                   const Tuple& key) const {
   CS_DCHECK(!columns.empty()) << "Probe requires at least one column";
   CS_DCHECK(std::is_sorted(columns.begin(), columns.end()))
       << "Probe columns must be sorted";
+  ++probes_;
   const Index& index = GetOrBuildIndex(columns);
-  auto it = index.map.find(key);
-  if (it == index.map.end()) return kEmptyPostings;
-  return it->second;
+  uint32_t bucket = FindBucket(index, key.data());
+  if (bucket == kEmpty) return Postings();
+  return Postings(&postings_, index.buckets[bucket].head,
+                  index.buckets[bucket].count);
 }
 
 int64_t Relation::UnionWith(const Relation& other) {
   CS_DCHECK(other.arity() == arity_) << "UnionWith arity mismatch";
   int64_t added = 0;
+  Reserve(num_rows_ + other.num_rows());
   for (int64_t i = 0; i < other.num_rows(); ++i) {
-    if (Insert(other.row(i))) ++added;
+    if (InsertRow(other.RowData(static_cast<uint32_t>(i)))) ++added;
   }
   return added;
 }
 
 void Relation::Clear() {
-  set_.clear();
-  rows_.clear();
+  num_rows_ = 0;
+  arena_.clear();
+  slots_.clear();
   indexes_.clear();
+  postings_.clear();
 }
 
 }  // namespace chainsplit

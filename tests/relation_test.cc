@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <random>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
 namespace chainsplit {
 namespace {
 
@@ -88,6 +94,202 @@ TEST(RelationTest, LargeRelationStaysConsistent) {
   for (TermId i = 0; i < 20000; ++i) rel.Insert({i / 100, i});
   EXPECT_EQ(rel.size(), 20000);
   EXPECT_EQ(rel.Probe({0}, {7}).size(), 100u);
+}
+
+TEST(RelationTest, IndexesMaintainedAfterClear) {
+  Relation rel(2);
+  rel.Insert({1, 10});
+  rel.Insert({2, 20});
+  EXPECT_EQ(rel.Probe({0}, {1}).size(), 1u);
+  EXPECT_EQ(rel.Probe({1}, {20}).size(), 1u);
+  rel.Clear();
+  EXPECT_TRUE(rel.empty());
+  // Rebuilt-from-scratch indexes must see post-Clear inserts only.
+  rel.Insert({1, 30});
+  rel.Insert({3, 10});
+  EXPECT_EQ(rel.Probe({0}, {1}).size(), 1u);
+  EXPECT_TRUE(rel.Probe({0}, {2}).empty());
+  EXPECT_EQ(rel.Probe({1}, {10}).size(), 1u);
+  rel.Insert({1, 40});  // incremental maintenance after the rebuild
+  EXPECT_EQ(rel.Probe({0}, {1}).size(), 2u);
+}
+
+TEST(RelationTest, MoveSemantics) {
+  Relation a(2);
+  for (TermId i = 0; i < 100; ++i) a.Insert({i % 5, i});
+  a.Probe({0}, {3});  // force an index before the move
+
+  Relation b(std::move(a));
+  EXPECT_EQ(b.size(), 100);
+  EXPECT_EQ(b.Probe({0}, {3}).size(), 20u);
+  EXPECT_EQ(b.row(0), (Tuple{0, 0}));
+  EXPECT_TRUE(b.Insert({99, 99}));
+
+  Relation c(2);
+  c.Insert({7, 7});
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 101);
+  EXPECT_FALSE(c.Contains({7, 7}));
+  EXPECT_TRUE(c.Contains({99, 99}));
+  EXPECT_EQ(c.Probe({0}, {3}).size(), 20u);
+}
+
+TEST(RelationTest, ReservePreservesBehaviour) {
+  Relation rel(3);
+  rel.Insert({1, 2, 3});
+  rel.Reserve(5000);
+  EXPECT_EQ(rel.size(), 1);
+  EXPECT_TRUE(rel.Contains({1, 2, 3}));
+  for (TermId i = 0; i < 5000; ++i) rel.Insert({i, i + 1, i % 7});
+  EXPECT_EQ(rel.size(), 5001);
+  EXPECT_EQ(rel.Probe({2}, {3}).size(), 5000u / 7 + 1);
+  EXPECT_GE(rel.telemetry().arena_bytes,
+            static_cast<int64_t>(5001 * 3 * sizeof(TermId)));
+}
+
+TEST(RelationTest, ProbeEachMatchesProbe) {
+  Relation rel(2);
+  for (TermId i = 0; i < 50; ++i) rel.Insert({i % 4, i});
+  std::vector<int64_t> via_probe(rel.Probe({0}, {2}).begin(),
+                                 rel.Probe({0}, {2}).end());
+  std::vector<int64_t> via_each;
+  Tuple key = {2};
+  rel.ProbeEach({0}, key.data(), [&](int64_t j) { via_each.push_back(j); });
+  EXPECT_EQ(via_probe, via_each);
+  EXPECT_FALSE(via_probe.empty());
+}
+
+TEST(RelationTest, NestedProbeBuildingAnotherIndexIsSafe) {
+  // The grounder probes a relation on one column set from inside an
+  // iteration over another; building the inner index grows the shared
+  // posting pool mid-iteration and must not invalidate the outer walk.
+  Relation rel(2);
+  for (TermId i = 0; i < 2000; ++i) rel.Insert({i % 50, i});
+  std::vector<int64_t> outer;
+  int64_t inner_hits = 0;
+  Tuple key = {3};
+  rel.ProbeEach({0}, key.data(), [&](int64_t j) {
+    outer.push_back(j);
+    Tuple inner_key = {rel.row(j)[1]};
+    rel.ProbeEach({1}, inner_key.data(), [&](int64_t) { ++inner_hits; });
+  });
+  EXPECT_EQ(outer.size(), 40u);
+  int64_t expected = 0;  // linear-scan oracle for the nested probes
+  for (int64_t j : outer) {
+    TermId v = rel.row(j)[1];
+    for (int64_t r = 0; r < rel.num_rows(); ++r) {
+      if (rel.row(r)[1] == v) ++expected;
+    }
+  }
+  EXPECT_EQ(inner_hits, expected);
+}
+
+TEST(RelationTest, TelemetryCountsProbesAndSurvivesClear) {
+  Relation rel(2);
+  rel.Insert({1, 2});
+  const int64_t before = rel.telemetry().probes;
+  rel.Probe({0}, {1});
+  Tuple key = {2};
+  rel.ProbeEach({1}, key.data(), [](int64_t) {});
+  EXPECT_EQ(rel.telemetry().probes, before + 2);
+  rel.Clear();
+  EXPECT_EQ(rel.telemetry().probes, before + 2);  // cumulative
+  EXPECT_EQ(rel.insert_attempts(), 1);
+}
+
+/// The pre-arena reference semantics: an unordered_set for dedup, a
+/// vector for insertion order, and per-column-set postings maps. The
+/// randomized test below drives Relation and this oracle with the same
+/// operation stream and demands identical observable behaviour.
+class OracleRelation {
+ public:
+  explicit OracleRelation(int arity) : arity_(arity) {}
+
+  bool Insert(const Tuple& t) {
+    if (!set_.insert(t).second) return false;
+    rows_.push_back(t);
+    for (auto& [columns, postings] : indexes_) {
+      postings[KeyOf(t, columns)].push_back(
+          static_cast<int64_t>(rows_.size()) - 1);
+    }
+    return true;
+  }
+  bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
+  int64_t size() const { return static_cast<int64_t>(rows_.size()); }
+  const Tuple& row(int64_t i) const { return rows_[i]; }
+
+  std::vector<int64_t> Probe(const std::vector<int>& columns,
+                             const Tuple& key) {
+    auto& postings = EnsureIndex(columns);
+    auto it = postings.find(key);
+    return it == postings.end() ? std::vector<int64_t>{} : it->second;
+  }
+
+  void Clear() {
+    set_.clear();
+    rows_.clear();
+    indexes_.clear();
+  }
+
+ private:
+  using PostingsMap = std::map<Tuple, std::vector<int64_t>>;
+
+  static Tuple KeyOf(const Tuple& t, const std::vector<int>& columns) {
+    Tuple key;
+    for (int c : columns) key.push_back(t[c]);
+    return key;
+  }
+  PostingsMap& EnsureIndex(const std::vector<int>& columns) {
+    auto it = indexes_.find(columns);
+    if (it == indexes_.end()) {
+      it = indexes_.emplace(columns, PostingsMap{}).first;
+      for (size_t i = 0; i < rows_.size(); ++i) {
+        it->second[KeyOf(rows_[i], columns)].push_back(
+            static_cast<int64_t>(i));
+      }
+    }
+    return it->second;
+  }
+
+  int arity_;
+  std::unordered_set<Tuple, TupleHash> set_;
+  std::vector<Tuple> rows_;
+  std::map<std::vector<int>, PostingsMap> indexes_;
+};
+
+TEST(RelationTest, RandomizedDifferentialAgainstOracle) {
+  std::mt19937 rng(20260805);
+  const std::vector<std::vector<int>> column_sets = {{0}, {1}, {2}, {0, 2}};
+  for (int round = 0; round < 4; ++round) {
+    Relation rel(3);
+    OracleRelation oracle(3);
+    std::uniform_int_distribution<int> value(0, 12);
+    std::uniform_int_distribution<int> op(0, 99);
+    for (int step = 0; step < 3000; ++step) {
+      const int o = op(rng);
+      Tuple t = {value(rng), value(rng), value(rng)};
+      if (o < 55) {
+        ASSERT_EQ(rel.Insert(t), oracle.Insert(t)) << "step " << step;
+      } else if (o < 75) {
+        ASSERT_EQ(rel.Contains(t), oracle.Contains(t)) << "step " << step;
+      } else if (o < 99) {
+        const auto& columns = column_sets[static_cast<size_t>(o) % 4];
+        Tuple key;
+        for (size_t k = 0; k < columns.size(); ++k) key.push_back(value(rng));
+        std::vector<int64_t> got(rel.Probe(columns, key).begin(),
+                                 rel.Probe(columns, key).end());
+        ASSERT_EQ(got, oracle.Probe(columns, key)) << "step " << step;
+      } else {
+        rel.Clear();
+        oracle.Clear();
+      }
+      ASSERT_EQ(rel.size(), oracle.size()) << "step " << step;
+    }
+    // Full sweep: identical contents in identical insertion order.
+    for (int64_t i = 0; i < rel.size(); ++i) {
+      ASSERT_EQ(rel.row(i), oracle.row(i)) << "row " << i;
+    }
+  }
 }
 
 }  // namespace

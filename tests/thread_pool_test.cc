@@ -1,0 +1,119 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "rel/ops.h"
+#include "rel/relation.h"
+
+namespace chainsplit {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int64_t> sum{0};
+  for (int i = 1; i <= 1000; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 1000 * 1001 / 2);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (wave + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(0, 10000, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsInlineBelowGrain) {
+  ThreadPool pool(4);
+  int64_t sum = 0;  // unsynchronized: must be safe when run inline
+  pool.ParallelFor(0, 50, 1000, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 49 * 50 / 2);
+}
+
+/// The parallel HashJoin path must produce the same tuples in the same
+/// row order as the sequential path, regardless of thread count. Runs
+/// on an explicit 4-thread pool so the test is meaningful on any
+/// hardware (the shared pool may have a single worker).
+TEST(ThreadPoolTest, ParallelHashJoinIsDeterministic) {
+  Relation left(2);
+  Relation right(2);
+  for (TermId i = 0; i < 5000; ++i) {
+    left.Insert({i % 97, i});
+    right.Insert({i % 89, i % 97});
+  }
+  const JoinSpec spec({{0, 1}});
+  const std::vector<int> out_cols = {1, 2};
+
+  Relation sequential(2);
+  HashJoin(left, right, spec, out_cols, &sequential);  // below threshold
+
+  const int64_t batches_before = ParallelJoinBatches();
+  const int64_t old_threshold = SetParallelJoinMinRows(1);
+  ThreadPool pool(4);
+  Relation parallel(2);
+  HashJoin(left, right, spec, out_cols, &parallel, &pool);
+  SetParallelJoinMinRows(old_threshold);
+
+  EXPECT_EQ(ParallelJoinBatches(), batches_before + 1);
+  ASSERT_EQ(parallel.size(), sequential.size());
+  ASSERT_GT(parallel.size(), 0);
+  for (int64_t i = 0; i < parallel.size(); ++i) {
+    ASSERT_EQ(parallel.row(i), sequential.row(i)) << "row " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelHashJoinRepeatsIdentically) {
+  Relation left(2);
+  Relation right(2);
+  for (TermId i = 0; i < 3000; ++i) {
+    left.Insert({i % 31, i});
+    right.Insert({i % 41, i % 31});
+  }
+  const JoinSpec spec({{0, 1}});
+  const std::vector<int> out_cols = {0, 1, 2};
+
+  const int64_t old_threshold = SetParallelJoinMinRows(1);
+  ThreadPool pool(4);
+  Relation first(3);
+  HashJoin(left, right, spec, out_cols, &first, &pool);
+  for (int rep = 0; rep < 3; ++rep) {
+    Relation again(3);
+    HashJoin(left, right, spec, out_cols, &again, &pool);
+    ASSERT_EQ(again.size(), first.size());
+    for (int64_t i = 0; i < again.size(); ++i) {
+      ASSERT_EQ(again.row(i), first.row(i)) << "rep " << rep << " row " << i;
+    }
+  }
+  SetParallelJoinMinRows(old_threshold);
+}
+
+}  // namespace
+}  // namespace chainsplit
