@@ -39,10 +39,15 @@ fi
 status=0
 for bin in "${benches[@]}"; do
   name=$(basename "$bin")
-  out="$out_dir/BENCH_${name#bench_}.json"
+  json_name=${name#bench_}
+  # The service bench is the acceptance artifact; keep its historical
+  # short name.
+  [[ $json_name == service_throughput ]] && json_name=service
+  out="$out_dir/BENCH_${json_name}.json"
   echo "== $name -> $out"
   if ! "$bin" --benchmark_out="$out" --benchmark_out_format=json; then
     echo "error: $name failed" >&2
+    rm -f "$out"  # no partial/empty JSON from a failed run
     status=1
   fi
 done

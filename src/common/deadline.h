@@ -1,0 +1,86 @@
+#ifndef CHAINSPLIT_COMMON_DEADLINE_H_
+#define CHAINSPLIT_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace chainsplit {
+
+/// Cooperative cancellation + deadline token, threaded through the
+/// evaluator loops (semi-naive fixpoint iterations, chain-closure
+/// rounds, buffered forward/backward steps, batched SLD expansions).
+///
+/// The checking granularity is deliberately per *iteration*, not per
+/// tuple: an Expired() call reads one relaxed atomic and, when a
+/// deadline is set, the steady clock — cheap enough for loop headers,
+/// too expensive for the per-tuple hot paths.
+///
+/// Thread-safety: Cancel() may be called from any thread at any time.
+/// SetDeadline()/set_parent() must happen-before the token is shared
+/// with the evaluating thread (the query service configures the token
+/// before evaluation starts).
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation; every subsequent Check() fails kCancelled.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->cancelled());
+  }
+
+  /// Sets an absolute deadline; Check() fails kDeadlineExceeded once the
+  /// steady clock passes it.
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  /// Sets the deadline `budget` from now.
+  void SetTimeout(Clock::duration budget) {
+    SetDeadline(Clock::now() + budget);
+  }
+
+  /// Chains this token under `parent`: cancelling or expiring the
+  /// parent expires this token too (a server shutdown token over
+  /// per-request deadline tokens).
+  void set_parent(const CancelToken* parent) { parent_ = parent; }
+
+  bool Expired() const {
+    if (cancelled()) return true;
+    if (has_deadline_ && Clock::now() > deadline_) return true;
+    return parent_ != nullptr && parent_->Expired();
+  }
+
+  /// Ok, or the Status describing why evaluation must stop.
+  Status Check() const {
+    if (cancelled()) return CancelledError("evaluation cancelled");
+    if (has_deadline_ && Clock::now() > deadline_) {
+      return DeadlineExceededError("query deadline exceeded");
+    }
+    if (parent_ != nullptr) return parent_->Check();
+    return Status::Ok();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  const CancelToken* parent_ = nullptr;
+};
+
+/// Loop-header helper: Ok when `token` is null (the default for every
+/// evaluator), else the token's verdict.
+inline Status CheckCancel(const CancelToken* token) {
+  return token == nullptr ? Status::Ok() : token->Check();
+}
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_COMMON_DEADLINE_H_

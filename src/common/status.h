@@ -21,6 +21,8 @@ enum class StatusCode {
   kUnimplemented,     // recursion class outside the supported fragment
   kNotFinitelyEvaluable,  // query requires evaluating an infinite relation
   kResourceExhausted,     // iteration/tuple cap exceeded (runaway guard)
+  kDeadlineExceeded,  // per-query deadline elapsed mid-evaluation
+  kCancelled,         // cooperative cancellation requested by the caller
   kInternal,          // invariant violation inside the library
 };
 
@@ -66,6 +68,8 @@ Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status NotFinitelyEvaluableError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
 Status InternalError(std::string message);
 
 /// A Status or a value of type T. Minimal analogue of absl::StatusOr.

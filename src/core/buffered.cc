@@ -185,6 +185,7 @@ class BufferedChainEvaluator::Run {
     std::vector<int> frontier = {0};
 
     while (!frontier.empty()) {
+      CS_RETURN_IF_ERROR(CheckCancel(options_.cancel));
       if (++stats_->levels > options_.max_levels) {
         return ResourceExhaustedError(
             StrCat("forward chain exceeded ", options_.max_levels,
@@ -261,6 +262,7 @@ class BufferedChainEvaluator::Run {
   Status ExitPhase() {
     for (size_t node_id = 0; node_id < nodes_.size() && !Done();
          ++node_id) {
+      CS_RETURN_IF_ERROR(CheckCancel(options_.cancel));
       for (const Rule& exit : chain_.exit_rules) {
         Substitution subst0;
         if (!BindPositions(pool_, exit.head.args, bound_pos_,
@@ -312,6 +314,7 @@ class BufferedChainEvaluator::Run {
     const Rule& rule = chain_.recursive_rule;
     const Atom& rec = chain_.recursive_call();
     while (!worklist_.empty() && !Done()) {
+      CS_RETURN_IF_ERROR(CheckCancel(options_.cancel));
       if (stats_->answers > options_.max_answers) {
         return ResourceExhaustedError(
             StrCat("backward phase exceeded ", options_.max_answers,

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/chain_compile.h"
 #include "core/finiteness.h"
 #include "engine/topdown.h"
@@ -29,6 +30,11 @@ struct BufferedOptions {
   /// has one answer. The planner enables this for fully-bound
   /// (boolean) queries, where any proof suffices.
   bool stop_at_first_answer = false;
+
+  /// Cooperative cancellation/deadline token, checked once per forward
+  /// level, per exit-phase call state and per backward-phase worklist
+  /// item (never per tuple). Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Work measures of one buffered evaluation, reported by benchmarks.

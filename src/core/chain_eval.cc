@@ -13,11 +13,13 @@ namespace {
 /// round, so no separate Contains pass (and no second hash walk) is
 /// needed.
 Status Closure(const Relation& edge, Relation* result, Relation&& delta0,
-               int64_t max_iterations, TcStats* stats) {
+               int64_t max_iterations, TcStats* stats,
+               const CancelToken* cancel) {
   const std::vector<int> from_col = {0};
   edge.EnsureIndex(from_col);
   Relation delta = std::move(delta0);
   while (!delta.empty()) {
+    CS_RETURN_IF_ERROR(CheckCancel(cancel));
     if (++stats->iterations > max_iterations) {
       return ResourceExhaustedError(
           StrCat("transitive closure exceeded ", max_iterations,
@@ -63,7 +65,8 @@ void FinishTelemetry(const Relation& edge, const Relation& result,
 StatusOr<Relation> TransitiveClosureFrom(const Relation& edge,
                                          const std::vector<TermId>& seeds,
                                          int64_t max_iterations,
-                                         TcStats* stats) {
+                                         TcStats* stats,
+                                         const CancelToken* cancel) {
   *stats = TcStats{};
   Relation::Telemetry edge_before = edge.telemetry();
   Relation result(2);
@@ -78,14 +81,15 @@ StatusOr<Relation> TransitiveClosureFrom(const Relation& edge,
     });
   }
   stats->delta_tuples += delta.size();
-  CS_RETURN_IF_ERROR(
-      Closure(edge, &result, std::move(delta), max_iterations, stats));
+  CS_RETURN_IF_ERROR(Closure(edge, &result, std::move(delta), max_iterations,
+                             stats, cancel));
   FinishTelemetry(edge, result, edge_before, stats);
   return result;
 }
 
 StatusOr<Relation> TransitiveClosure(const Relation& edge,
-                                     int64_t max_iterations, TcStats* stats) {
+                                     int64_t max_iterations, TcStats* stats,
+                                     const CancelToken* cancel) {
   *stats = TcStats{};
   Relation::Telemetry edge_before = edge.telemetry();
   Relation result(2);
@@ -95,8 +99,8 @@ StatusOr<Relation> TransitiveClosure(const Relation& edge,
     if (result.Insert(edge.row(i))) delta.Insert(edge.row(i));
   }
   stats->delta_tuples += delta.size();
-  CS_RETURN_IF_ERROR(
-      Closure(edge, &result, std::move(delta), max_iterations, stats));
+  CS_RETURN_IF_ERROR(Closure(edge, &result, std::move(delta), max_iterations,
+                             stats, cancel));
   FinishTelemetry(edge, result, edge_before, stats);
   return result;
 }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "rel/relation.h"
 
@@ -29,13 +30,15 @@ struct TcStats {
 StatusOr<Relation> TransitiveClosureFrom(const Relation& edge,
                                          const std::vector<TermId>& seeds,
                                          int64_t max_iterations,
-                                         TcStats* stats);
+                                         TcStats* stats,
+                                         const CancelToken* cancel = nullptr);
 
 /// Full semi-naive transitive closure of `edge`. Used by the
 /// merged-chain experiment (E8) as the per-chain evaluation whose cost
 /// is compared against iterating the merged cross-product chain.
 StatusOr<Relation> TransitiveClosure(const Relation& edge,
-                                     int64_t max_iterations, TcStats* stats);
+                                     int64_t max_iterations, TcStats* stats,
+                                     const CancelToken* cancel = nullptr);
 
 }  // namespace chainsplit
 

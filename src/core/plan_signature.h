@@ -1,0 +1,55 @@
+#ifndef CHAINSPLIT_CORE_PLAN_SIGNATURE_H_
+#define CHAINSPLIT_CORE_PLAN_SIGNATURE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace chainsplit {
+
+/// Canonical forms of queries, used as cache keys by the query service
+/// (src/service/): two queries share a *result* key iff they are the
+/// same query up to variable renaming and whitespace, and share a
+/// *plan* signature iff the planner makes identical decisions for them
+/// (same shape, constants abstracted to their boundness).
+
+/// Purely lexical canonical form of one query statement. Variables are
+/// renamed V0, V1, ... by first occurrence; whitespace and comments
+/// are dropped; everything else (constants included) is kept verbatim.
+/// Crucially this never touches a TermPool or Program, so the service
+/// can compute result-cache keys under a shared (read) lock without
+/// parsing — parsing interns terms, which is a write.
+struct CanonicalQueryText {
+  std::string key;                 // e.g. "?-tc(a,V0),V0\\=b."
+  std::vector<std::string> vars;   // original names, first-occurrence order
+};
+
+/// Canonicalizes `text` when it is a single query statement (starts
+/// with `?-`, ends with `.`); nullopt otherwise (facts, rules,
+/// commands, or trailing garbage after the terminating dot).
+std::optional<CanonicalQueryText> CanonicalizeQueryText(
+    std::string_view text);
+
+/// Plan signature of a parsed query: per-goal `pred/arity` plus an
+/// argument shape where variables are numbered by first occurrence
+/// (V0, V1, ...), ground arguments abstract to `b` and non-ground
+/// compounds to `s`. Two queries with equal signatures present the
+/// planner with the same adorned, rectified problem — only the bound
+/// *values* differ — so classification, chain compilation and the
+/// technique choice can be reused across them.
+std::string PlanSignature(const Program& program, const Query& query);
+
+/// Every non-builtin predicate whose relation the evaluation of
+/// `query` may read: the query's own goal predicates plus the body
+/// predicates of all transitively reachable rules (IDB predicates
+/// included — they can carry EDB facts). Sorted ascending, so the
+/// service can snapshot relation versions in a deterministic order.
+std::vector<PredId> ReachablePreds(const Program& program,
+                                   const Query& query);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_CORE_PLAN_SIGNATURE_H_

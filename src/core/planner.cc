@@ -65,17 +65,21 @@ std::vector<UpperBound> FindUpperBounds(const Program& program,
   return bounds;
 }
 
-/// Evaluation context for one query.
+/// Evaluation context for one query. Writes into caller-owned result
+/// storage so partial work (plan lines, evaluator stats) survives an
+/// error return — the service reports them for timed-out queries.
 class PlanRun {
  public:
-  PlanRun(Database* db, const Query& query, const PlannerOptions& options)
+  PlanRun(Database* db, const Query& query, const PlannerOptions& options,
+          QueryResult* result)
       : db_(db),
         program_(db->program()),
         pool_(db->pool()),
         query_(query),
-        options_(options) {}
+        options_(options),
+        result_(*result) {}
 
-  StatusOr<QueryResult> Execute() {
+  Status Execute() {
     if (query_.goals.empty()) {
       return InvalidArgumentError("empty query");
     }
@@ -110,7 +114,11 @@ class PlanRun {
       }
     }
 
-    rectified_ = RectifyRules(&program_);
+    if (options_.rectified != nullptr) {
+      rectified_ = *options_.rectified;
+    } else {
+      rectified_ = RectifyRules(&program_);
+    }
     // EDB facts of IDB predicates (e.g. `sg(tom, sue).` next to sg
     // rules) participate in rule-based evaluation as body-less rules,
     // so the adorned/magic program derives them into the adorned
@@ -124,14 +132,11 @@ class PlanRun {
         }
       }
     }
-    ProgramAnalysis analysis = ProgramAnalysis::Analyze(program_, rectified_);
-    const PredicateClassification& cls = analysis.Get(main_goal_.pred);
-    AppendPlan(StrCat("recursion class of ",
-                      program_.preds().Display(main_goal_.pred), ": ",
-                      RecursionClassToString(cls.recursion),
-                      cls.functional ? " (functional)" : " (function-free)"));
 
     if (options_.force.has_value()) {
+      // Forced techniques (benchmarks, plan-cache replays) skip
+      // classification entirely: RunMagic/RunChain revalidate
+      // applicability themselves and fail on a mismatch.
       switch (*options_.force) {
         case Technique::kMagicSets:
           return RunMagic(/*use_gate=*/false);
@@ -145,6 +150,13 @@ class PlanRun {
           return RunTopDown();
       }
     }
+
+    ProgramAnalysis analysis = ProgramAnalysis::Analyze(program_, rectified_);
+    const PredicateClassification& cls = analysis.Get(main_goal_.pred);
+    AppendPlan(StrCat("recursion class of ",
+                      program_.preds().Display(main_goal_.pred), ": ",
+                      RecursionClassToString(cls.recursion),
+                      cls.functional ? " (functional)" : " (function-free)"));
 
     if (!cls.functional) {
       // Bounded-recursion compilation ([8, 9]): a permutation-bounded
@@ -168,13 +180,13 @@ class PlanRun {
     }
     if (cls.recursion == RecursionClass::kLinear ||
         cls.recursion == RecursionClass::kNestedLinear) {
-      StatusOr<QueryResult> chain_result = RunChain(/*allow_partial=*/true);
-      if (chain_result.ok() ||
-          chain_result.status().code() != StatusCode::kUnimplemented) {
-        return chain_result;
+      Status chain_status = RunChain(/*allow_partial=*/true);
+      if (chain_status.ok() ||
+          chain_status.code() != StatusCode::kUnimplemented) {
+        return chain_status;
       }
       AppendPlan(StrCat("chain compilation unavailable (",
-                        chain_result.status().message(),
+                        chain_status.message(),
                         "); falling back to SLD"));
     }
     return RunTopDown();
@@ -186,14 +198,21 @@ class PlanRun {
     result_.plan += "\n";
   }
 
-  StatusOr<QueryResult> RunTopDown() {
+  /// options_.topdown with the planner-wide cancel token attached.
+  TopDownOptions TopDownWithCancel() const {
+    TopDownOptions topdown = options_.topdown;
+    if (topdown.cancel == nullptr) topdown.cancel = options_.cancel;
+    return topdown;
+  }
+
+  Status RunTopDown() {
     AppendPlan("technique: top-down SLD resolution");
     result_.technique = Technique::kTopDown;
-    TopDownEvaluator solver(db_, options_.topdown);
+    TopDownEvaluator solver(db_, TopDownWithCancel());
     CS_ASSIGN_OR_RETURN(result_.answers,
                         solver.Answers(query_.goals, result_.vars));
     result_.topdown_stats = solver.stats();
-    return std::move(result_);
+    return Status::Ok();
   }
 
   std::string QueryAdornment() const {
@@ -204,7 +223,7 @@ class PlanRun {
     return adornment;
   }
 
-  StatusOr<QueryResult> RunMagic(bool use_gate) {
+  Status RunMagic(bool use_gate) {
     auto gate_fired = std::make_shared<bool>(false);
     PropagationGate gate;
     if (use_gate) {
@@ -230,6 +249,7 @@ class PlanRun {
       db_->InsertFact(seed.pred, seed.args);
     }
     SemiNaiveOptions seminaive = options_.seminaive;
+    if (seminaive.cancel == nullptr) seminaive.cancel = options_.cancel;
     if (options_.use_stats_ordering && seminaive.estimator == nullptr) {
       Database* db = db_;
       seminaive.estimator = [db](PredId pred, const std::string& ad) {
@@ -261,11 +281,10 @@ class PlanRun {
         if (match) answers.push_back(row);
       }
     }
-    CS_RETURN_IF_ERROR(FinishWithMainAnswers(answers));
-    return std::move(result_);
+    return FinishWithMainAnswers(answers);
   }
 
-  StatusOr<QueryResult> RunChain(bool allow_partial) {
+  Status RunChain(bool allow_partial) {
     CS_ASSIGN_OR_RETURN(
         CompiledChain chain,
         CompileChain(program_, rectified_, main_goal_.pred));
@@ -281,6 +300,12 @@ class PlanRun {
         DecideSplit(db_, chain, whole, bound_vars, options_.split));
     AppendPlan(CompiledChainToString(program_, chain));
     AppendPlan(StrCat("split: ", PathSplitToString(program_, chain, split)));
+
+    BufferedOptions buffered = options_.buffered;
+    if (buffered.cancel == nullptr) buffered.cancel = options_.cancel;
+    if (buffered.subquery.cancel == nullptr) {
+      buffered.subquery.cancel = options_.cancel;
+    }
 
     // Constraint pushing (Algorithm 3.3) when the query carries an
     // upper bound on a monotone answer position.
@@ -305,10 +330,9 @@ class PlanRun {
         std::vector<Tuple> answers;
         CS_ASSIGN_OR_RETURN(
             answers, PartialEvaluate(db_, chain, split, main_goal_,
-                                     *constraint, options_.buffered,
+                                     *constraint, buffered,
                                      &result_.buffered_stats));
-        CS_RETURN_IF_ERROR(FinishWithMainAnswers(answers));
-        return std::move(result_);
+        return FinishWithMainAnswers(answers);
       }
       if (options_.force == Technique::kPartial) {
         return FailedPreconditionError(
@@ -318,7 +342,6 @@ class PlanRun {
 
     AppendPlan("technique: buffered chain-split evaluation");
     result_.technique = Technique::kBuffered;
-    BufferedOptions buffered = options_.buffered;
     bool boolean_query = true;
     for (TermId arg : main_goal_.args) {
       boolean_query = boolean_query && pool_.IsGround(arg);
@@ -329,17 +352,16 @@ class PlanRun {
       AppendPlan("existence check: stopping at the first proof");
     }
     BufferedChainEvaluator evaluator(db_, chain, buffered);
-    CS_ASSIGN_OR_RETURN(std::vector<Tuple> answers,
-                        evaluator.Evaluate(main_goal_, split));
+    StatusOr<std::vector<Tuple>> answers = evaluator.Evaluate(main_goal_, split);
     result_.buffered_stats = evaluator.stats();
-    CS_RETURN_IF_ERROR(FinishWithMainAnswers(answers));
-    return std::move(result_);
+    CS_RETURN_IF_ERROR(answers.status());
+    return FinishWithMainAnswers(*answers);
   }
 
   /// Joins the main-goal answers with the remaining query goals and
   /// projects to the query variables.
   Status FinishWithMainAnswers(const std::vector<Tuple>& answers) {
-    TopDownEvaluator solver(db_, options_.topdown);
+    TopDownEvaluator solver(db_, TopDownWithCancel());
     std::unordered_set<Tuple, TupleHash> seen;
     for (const Tuple& tuple : answers) {
       Substitution subst0;
@@ -383,14 +405,22 @@ class PlanRun {
   Atom main_goal_;
   std::vector<Atom> rest_goals_;
   std::vector<Rule> rectified_;
-  QueryResult result_;
+  QueryResult& result_;
 };
 
 }  // namespace
 
 StatusOr<QueryResult> EvaluateQuery(Database* db, const Query& query,
                                     const PlannerOptions& options) {
-  PlanRun run(db, query, options);
+  QueryResult result;
+  CS_RETURN_IF_ERROR(EvaluateQueryInto(db, query, options, &result));
+  return std::move(result);
+}
+
+Status EvaluateQueryInto(Database* db, const Query& query,
+                         const PlannerOptions& options, QueryResult* result) {
+  *result = QueryResult();
+  PlanRun run(db, query, options, result);
   return run.Execute();
 }
 

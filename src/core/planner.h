@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/buffered.h"
 #include "core/partial.h"
@@ -44,6 +45,18 @@ struct PlannerOptions {
   /// Off = the bound-argument-count heuristic; the join-order ablation
   /// benchmark compares the two.
   bool use_stats_ordering = true;
+
+  /// Precomputed rectification of the program's rules (RectifyRules
+  /// output for the *current* rule set). When set, the planner reuses
+  /// it instead of re-rectifying every query — the query service
+  /// caches this per rules-epoch. Must be invalidated when rules
+  /// change.
+  const std::vector<Rule>* rectified = nullptr;
+
+  /// Cooperative deadline/cancellation for the whole evaluation;
+  /// propagated into every evaluator invoked (semi-naive, buffered,
+  /// SLD) unless that evaluator's own options already carry a token.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Answers plus provenance of one query evaluation.
@@ -69,6 +82,14 @@ struct QueryResult {
 /// This is the library's main entry point; see examples/.
 StatusOr<QueryResult> EvaluateQuery(Database* db, const Query& query,
                                     const PlannerOptions& options = {});
+
+/// As EvaluateQuery, but writes into `*result` and reports failures
+/// through the returned Status. On error (including kDeadlineExceeded
+/// and kCancelled) `result->plan` and the evaluator statistics hold
+/// the partial work done before the failure — the query service
+/// surfaces these as partial stats of a timed-out query.
+Status EvaluateQueryInto(Database* db, const Query& query,
+                         const PlannerOptions& options, QueryResult* result);
 
 /// Convenience: parse `source` (rules + facts + one query), load facts,
 /// and evaluate the first query.

@@ -95,6 +95,7 @@ Status SemiNaiveEvaluate(Database* db, const std::vector<Rule>& rules,
 
   // Initialization round: every rule once against the full relations.
   for (const RuleVariants& variants : compiled) {
+    CS_RETURN_IF_ERROR(CheckCancel(options.cancel));
     Relation scratch(program.preds().arity(variants.base.head_pred));
     CS_RETURN_IF_ERROR(EvaluateRule(db->pool(), program.preds(),
                                     variants.base, rel_for,
@@ -115,6 +116,7 @@ Status SemiNaiveEvaluate(Database* db, const std::vector<Rule>& rules,
     bool any_delta = false;
     for (const auto& [pred, rel] : delta) any_delta |= !rel.empty();
     if (!any_delta) break;
+    CS_RETURN_IF_ERROR(CheckCancel(options.cancel));
     if (++stats->iterations > options.max_iterations) {
       return ResourceExhaustedError(
           StrCat("fixpoint did not converge within ", options.max_iterations,

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "engine/grounder.h"
 #include "rel/catalog.h"
@@ -28,6 +29,12 @@ struct SemiNaiveOptions {
   /// body literals (access-path selection). Null keeps the
   /// bound-argument heuristic.
   CardinalityEstimator estimator;
+
+  /// Cooperative cancellation/deadline token, checked once per fixpoint
+  /// iteration (and between initialization-round rules). Null = never
+  /// cancelled. On expiry the evaluation stops with kDeadlineExceeded
+  /// or kCancelled; `*stats` holds the partial work done so far.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Storage-layer telemetry of one fixpoint run, aggregated from the

@@ -46,6 +46,9 @@ class TopDownEvaluator::Impl {
           StrCat("top-down evaluation exceeded ", options_.max_steps,
                  " goal expansions"));
     }
+    if ((stats_->steps & 1023) == 0) {
+      CS_RETURN_IF_ERROR(CheckCancel(options_.cancel));
+    }
     stats_->deepest =
         std::max(stats_->deepest, static_cast<int64_t>(stack_.size()));
     if (static_cast<int64_t>(stack_.size()) > options_.max_depth) {

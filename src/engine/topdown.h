@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "rel/catalog.h"
 #include "term/unify.h"
@@ -21,6 +22,11 @@ struct TopDownOptions {
   int64_t max_steps = 200000000;
   /// Stop after this many solutions.
   int64_t max_solutions = 1000000000;
+
+  /// Cooperative cancellation/deadline token, checked once per 1024
+  /// goal expansions (a clock read per SLD step would dominate the
+  /// resolution loop). Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 struct TopDownStats {

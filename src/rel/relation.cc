@@ -80,6 +80,7 @@ bool Relation::InsertRow(const TermId* row) {
   const uint32_t row_id = static_cast<uint32_t>(num_rows_);
   slots_[idx] = row_id;
   ++num_rows_;
+  ++version_;
   for (Index& index : indexes_) IndexInsert(&index, row_id);
   if (static_cast<size_t>(num_rows_) * kLoadDen >=
       slots_.size() * kLoadNum) {
@@ -205,10 +206,55 @@ int64_t Relation::UnionWith(const Relation& other) {
 
 void Relation::Clear() {
   num_rows_ = 0;
+  ++version_;
   arena_.clear();
   slots_.clear();
   indexes_.clear();
   postings_.clear();
+}
+
+Relation::CompactionStats Relation::CompactPostings() {
+  CompactionStats stats;
+  stats.blocks_before = static_cast<int64_t>(postings_.size());
+  ++compactions_;
+  if (postings_.empty()) return stats;
+
+  // Rewrite chains bucket by bucket (over all indexes, which share the
+  // pool) into a fresh pool: each chain's blocks become adjacent and
+  // fully packed, so a Probe scan walks the pool sequentially. Every
+  // bucket owns at least one block (buckets are created on first
+  // insert), so head/tail always land on this chain's fresh blocks.
+  std::vector<PostingBlock> packed;
+  packed.reserve(postings_.size());
+  for (Index& index : indexes_) {
+    for (Index::Bucket& bucket : index.buckets) {
+      ++stats.chains;
+      const uint32_t new_head = static_cast<uint32_t>(packed.size());
+      for (uint32_t at = bucket.head; at != Postings::kNull;
+           at = postings_[at].next) {
+        const PostingBlock& block = postings_[at];
+        if (block.next != Postings::kNull && block.next != at + 1) {
+          ++stats.moved_blocks;  // a pool-order pointer chase eliminated
+        }
+        for (uint32_t s = 0; s < block.count; ++s) {
+          if (packed.size() == new_head ||
+              packed.back().count == PostingBlock::kCapacity) {
+            if (packed.size() > new_head) {
+              packed.back().next = static_cast<uint32_t>(packed.size());
+            }
+            packed.push_back(PostingBlock{{}, 0, Postings::kNull});
+          }
+          PostingBlock& dst = packed.back();
+          dst.rows[dst.count++] = block.rows[s];
+        }
+      }
+      bucket.head = new_head;
+      bucket.tail = static_cast<uint32_t>(packed.size()) - 1;
+    }
+  }
+  postings_ = std::move(packed);
+  stats.blocks_after = static_cast<int64_t>(postings_.size());
+  return stats;
 }
 
 }  // namespace chainsplit

@@ -148,6 +148,18 @@ class Relation {
     int64_t probes = 0;           // Probe/ProbeEach calls
     int64_t hash_collisions = 0;  // extra open-addressing slot steps
     int64_t arena_bytes = 0;      // current arena capacity in bytes
+    int64_t posting_blocks = 0;   // current posting-pool size in blocks
+    int64_t compactions = 0;      // CompactPostings calls so far
+  };
+
+  /// Outcome of one CompactPostings call: how fragmented the posting
+  /// pool was before and how dense it is now (storage telemetry
+  /// reports these as the before/after of read-mostly compaction).
+  struct CompactionStats {
+    int64_t chains = 0;         // posting chains (index buckets) rewritten
+    int64_t blocks_before = 0;  // pool blocks before compaction
+    int64_t blocks_after = 0;   // pool blocks after (fully packed chains)
+    int64_t moved_blocks = 0;   // non-adjacent chain links eliminated
   };
 
   /// Thread-local probe counters for concurrent readers (parallel
@@ -166,6 +178,12 @@ class Relation {
   int arity() const { return arity_; }
   int64_t size() const { return num_rows_; }
   bool empty() const { return num_rows_ == 0; }
+
+  /// Monotonic mutation counter: bumped on every *new* row inserted and
+  /// on Clear. The query service's epoch-based cache invalidation
+  /// compares snapshots of this value — equal versions guarantee the
+  /// relation's logical contents are unchanged.
+  uint64_t version() const { return version_; }
 
   /// Pre-sizes the arena and the dedup table for `n` rows.
   void Reserve(int64_t n);
@@ -268,6 +286,14 @@ class Relation {
   /// Removes all tuples (indexes are dropped; telemetry survives).
   void Clear();
 
+  /// Rewrites every index bucket's posting chain contiguously (blocks
+  /// of one chain adjacent in the pool, fully packed), so long Probe
+  /// scans become sequential reads instead of pool-order pointer
+  /// chasing. Intended for read-mostly relations: inserts after
+  /// compaction re-fragment the tail of the pool. Invalidates
+  /// outstanding Postings views. No-op counters when no index exists.
+  CompactionStats CompactPostings();
+
   /// Total tuples ever inserted via Insert (survives Clear); used by
   /// benchmarks as a work measure.
   int64_t insert_attempts() const { return insert_attempts_; }
@@ -278,6 +304,8 @@ class Relation {
     t.hash_collisions = hash_collisions_;
     t.arena_bytes =
         static_cast<int64_t>(arena_.capacity() * sizeof(TermId));
+    t.posting_blocks = static_cast<int64_t>(postings_.size());
+    t.compactions = compactions_;
     return t;
   }
 
@@ -358,12 +386,14 @@ class Relation {
 
   int arity_;
   int64_t num_rows_ = 0;
+  uint64_t version_ = 0;
   std::vector<TermId> arena_;      // rows back-to-back, stride = arity
   std::vector<uint32_t> slots_;    // dedup table: row ids; pow2 size
   // Indexes are caches: mutating them does not change the logical value.
   mutable std::vector<Index> indexes_;
   mutable std::vector<PostingBlock> postings_;  // shared posting pool
   int64_t insert_attempts_ = 0;
+  int64_t compactions_ = 0;
   mutable int64_t probes_ = 0;
   mutable int64_t hash_collisions_ = 0;
 };

@@ -1,0 +1,382 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "ast/parser.h"
+#include "common/strings.h"
+#include "core/rectify.h"
+#include "rel/csv.h"
+
+namespace chainsplit {
+
+template <typename V>
+void QueryService::LruCache<V>::Put(std::string key,
+                                    std::shared_ptr<V> value,
+                                    size_t capacity) {
+  if (capacity == 0) return;
+  auto it = index.find(key);
+  if (it != index.end()) {
+    it->second->value = std::move(value);
+    order.splice(order.begin(), order, it->second);
+    return;
+  }
+  order.push_front(Node{std::move(key), std::move(value)});
+  index.emplace(std::string_view(order.front().key), order.begin());
+  while (order.size() > capacity) {
+    index.erase(std::string_view(order.back().key));
+    order.pop_back();
+  }
+}
+
+template <typename V>
+void QueryService::LruCache<V>::Erase(std::string_view key) {
+  auto it = index.find(key);
+  if (it == index.end()) return;
+  order.erase(it->second);
+  index.erase(it);
+}
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(std::move(options)) {}
+
+uint64_t QueryService::rules_epoch() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return rules_epoch_;
+}
+
+ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return stats_;
+}
+
+void QueryService::CountStatus(const Status& status) {
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.deadline_exceeded;
+  } else if (status.code() == StatusCode::kCancelled) {
+    ++stats_.cancelled;
+  }
+}
+
+const std::vector<Rule>* QueryService::RectifiedRules() {
+  if (!rectified_valid_) {
+    rectified_ = RectifyRules(&db_.program());
+    rectified_valid_ = true;
+  }
+  return &rectified_;
+}
+
+std::vector<std::pair<PredId, uint64_t>> QueryService::SnapshotDeps(
+    const std::vector<PredId>& preds) {
+  std::vector<std::pair<PredId, uint64_t>> deps;
+  deps.reserve(preds.size());
+  for (PredId pred : preds) {
+    const Relation* rel = db_.GetRelation(pred);
+    deps.emplace_back(pred, rel == nullptr ? 0 : rel->version());
+  }
+  return deps;
+}
+
+void QueryService::CompactDeps(
+    const std::vector<std::pair<PredId, uint64_t>>& deps) {
+  if (!options_.compact_read_mostly) return;
+  for (const auto& [pred, version] : deps) {
+    (void)version;
+    if (!read_mostly_.insert(pred).second) continue;
+    if (db_.GetRelation(pred) == nullptr) continue;
+    Relation* rel = db_.GetOrCreateRelation(pred);
+    if (rel->num_rows() == 0) continue;
+    Relation::CompactionStats c = rel->CompactPostings();
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    ++stats_.compacted_relations;
+    stats_.compaction_blocks_before += c.blocks_before;
+    stats_.compaction_blocks_after += c.blocks_after;
+    stats_.compaction_moved_blocks += c.moved_blocks;
+  }
+}
+
+Status QueryService::RunPlanner(const ::chainsplit::Query& query,
+                                const std::string& signature,
+                                const CancelToken* cancel,
+                                QueryResponse* response,
+                                QueryResult* result) {
+  PlannerOptions planner = options_.planner;
+  planner.cancel = cancel;
+  planner.rectified = RectifiedRules();
+
+  std::shared_ptr<PlanEntry> plan;
+  if (options_.enable_plan_cache && !signature.empty() &&
+      !planner.force.has_value()) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    plan = plan_cache_.Get(signature);
+    if (plan != nullptr) {
+      ++stats_.plan_cache_hits;
+    } else {
+      ++stats_.plan_cache_misses;
+    }
+  }
+  if (plan != nullptr) {
+    planner.force = plan->technique;
+    response->plan_cache_hit = true;
+  }
+
+  Status status = EvaluateQueryInto(&db_, query, planner, result);
+  if (plan != nullptr && !status.ok() &&
+      status.code() != StatusCode::kDeadlineExceeded &&
+      status.code() != StatusCode::kCancelled) {
+    // The cached technique stopped being applicable (e.g. a pushed
+    // constraint no longer deducible after updates): drop the entry
+    // and re-plan from scratch.
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      plan_cache_.Erase(signature);
+    }
+    response->plan_cache_hit = false;
+    planner.force = options_.planner.force;
+    status = EvaluateQueryInto(&db_, query, planner, result);
+    plan = nullptr;
+  }
+  if (status.ok() && plan == nullptr && options_.enable_plan_cache &&
+      !signature.empty() && !options_.planner.force.has_value()) {
+    auto entry = std::make_shared<PlanEntry>();
+    entry->technique = result->technique;
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    plan_cache_.Put(signature, std::move(entry),
+                    options_.plan_cache_capacity);
+  }
+  if (response->plan_cache_hit) {
+    result->plan += "plan: technique reused from plan cache\n";
+  }
+  return status;
+}
+
+QueryResponse QueryService::EvaluateLocked(
+    const ::chainsplit::Query& query, const std::string& signature,
+    const RequestOptions& request) {
+  QueryResponse response;
+
+  CancelToken token;
+  std::chrono::milliseconds deadline =
+      request.deadline.count() > 0 ? request.deadline
+                                   : options_.default_deadline;
+  if (deadline.count() > 0) token.SetTimeout(deadline);
+  token.set_parent(request.cancel);
+  const CancelToken* cancel =
+      (deadline.count() > 0 || request.cancel != nullptr) ? &token : nullptr;
+
+  QueryResult result;
+  response.status = RunPlanner(query, signature, cancel, &response, &result);
+  response.technique = result.technique;
+  response.plan = std::move(result.plan);
+  response.seminaive_stats = result.seminaive_stats;
+  response.buffered_stats = result.buffered_stats;
+  response.topdown_stats = result.topdown_stats;
+  if (!response.status.ok()) return response;
+
+  const TermPool& pool = db_.pool();
+  response.vars.reserve(result.vars.size());
+  for (TermId var : result.vars) response.vars.push_back(pool.ToString(var));
+  response.rows.reserve(result.answers.size());
+  for (const Tuple& row : result.answers) {
+    std::vector<std::string> formatted;
+    formatted.reserve(row.size());
+    for (TermId value : row) formatted.push_back(pool.ToString(value));
+    response.rows.push_back(std::move(formatted));
+  }
+  return response;
+}
+
+QueryResponse QueryService::Query(std::string_view text,
+                                  const RequestOptions& request) {
+  QueryResponse response;
+  std::optional<CanonicalQueryText> canonical = CanonicalizeQueryText(text);
+  if (!canonical.has_value()) {
+    response.status = InvalidArgumentError(
+        "Query() expects a single `?- goal, ... .` statement");
+    return response;
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    ++stats_.queries;
+  }
+
+  const bool use_result_cache =
+      options_.enable_result_cache && !request.bypass_cache;
+  if (use_result_cache) {
+    std::shared_ptr<ResultEntry> entry;
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      entry = result_cache_.Get(canonical->key);
+    }
+    if (entry != nullptr) {
+      bool valid = entry->num_vars == canonical->vars.size();
+      bool stale_deps = false;
+      if (valid) {
+        // Validate the dependency snapshot under the shared lock: any
+        // concurrent fact writer holds the exclusive side while it
+        // bumps relation versions.
+        std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+        for (const auto& [pred, version] : entry->deps) {
+          const Relation* rel = db_.GetRelation(pred);
+          if ((rel == nullptr ? 0 : rel->version()) != version) {
+            stale_deps = true;
+            break;
+          }
+        }
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        if (stale_deps || entry->rules_epoch != rules_epoch_) valid = false;
+      }
+      if (valid) {
+        response.vars = canonical->vars;
+        response.rows = entry->rows;
+        response.technique = entry->technique;
+        response.plan = entry->plan + "plan: answers from result cache\n";
+        response.result_cache_hit = true;
+        response.seminaive_stats = entry->seminaive_stats;
+        response.buffered_stats = entry->buffered_stats;
+        response.topdown_stats = entry->topdown_stats;
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        ++stats_.result_cache_hits;
+        return response;
+      }
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      result_cache_.Erase(canonical->key);
+      if (stale_deps) ++stats_.result_cache_invalidations;
+    }
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    ++stats_.result_cache_misses;
+  }
+
+  // Miss (or bypass): parse and evaluate under the exclusive lock —
+  // parsing interns terms and evaluation writes derived relations.
+  std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+  Program& program = db_.program();
+  const size_t queries_before = program.queries().size();
+  Status parsed = ParseProgram(text, &program);
+  if (!parsed.ok()) {
+    response.status = std::move(parsed);
+    return response;
+  }
+  if (program.queries().size() != queries_before + 1) {
+    response.status = InvalidArgumentError(
+        "Query() expects exactly one query statement");
+    return response;
+  }
+  const ::chainsplit::Query query = program.queries().back();
+
+  // Bypass mode skips the plan cache too (empty signature): it is the
+  // uncached reference path.
+  response = EvaluateLocked(
+      query,
+      request.bypass_cache ? std::string() : PlanSignature(program, query),
+      request);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    CountStatus(response.status);
+  }
+  if (!response.status.ok() || !use_result_cache) return response;
+
+  auto entry = std::make_shared<ResultEntry>();
+  entry->deps = SnapshotDeps(ReachablePreds(program, query));
+  entry->rows = response.rows;
+  entry->num_vars = response.vars.size();
+  entry->technique = response.technique;
+  entry->plan = response.plan;
+  entry->seminaive_stats = response.seminaive_stats;
+  entry->buffered_stats = response.buffered_stats;
+  entry->topdown_stats = response.topdown_stats;
+  CompactDeps(entry->deps);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  entry->rules_epoch = rules_epoch_;
+  result_cache_.Put(canonical->key, std::move(entry),
+                    options_.result_cache_capacity);
+  return response;
+}
+
+UpdateResponse QueryService::Update(std::string_view text,
+                                    const RequestOptions& request) {
+  UpdateResponse response;
+  std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+  Program& program = db_.program();
+  const size_t facts_before = program.facts().size();
+  const size_t rules_before = program.rules().size();
+  const size_t queries_before = program.queries().size();
+
+  response.status = ParseProgram(text, &program);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    ++stats_.updates;
+  }
+  if (!response.status.ok()) return response;
+
+  for (size_t i = facts_before; i < program.facts().size(); ++i) {
+    const Atom& fact = program.facts()[i];
+    if (db_.InsertFact(fact.pred, fact.args)) ++response.new_facts;
+  }
+  if (program.rules().size() != rules_before) {
+    response.new_rules =
+        static_cast<int64_t>(program.rules().size() - rules_before);
+    rectified_valid_ = false;
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    ++rules_epoch_;
+    // New rules can change any derivable answer and any plan choice.
+    result_cache_.Clear();
+    plan_cache_.Clear();
+  }
+  for (size_t i = queries_before; i < program.queries().size(); ++i) {
+    const ::chainsplit::Query& query = program.queries()[i];
+    QueryResponse qr =
+        EvaluateLocked(query, PlanSignature(program, query), request);
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      ++stats_.queries;
+      CountStatus(qr.status);
+    }
+    response.query_responses.push_back(std::move(qr));
+  }
+  return response;
+}
+
+UpdateResponse QueryService::LoadFile(const std::string& path,
+                                      const RequestOptions& request) {
+  std::ifstream in(path);
+  if (!in) {
+    UpdateResponse response;
+    response.status = NotFoundError(StrCat("cannot open ", path));
+    return response;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Update(buffer.str(), request);
+}
+
+StatusOr<int64_t> QueryService::LoadCsv(const std::string& name, int arity,
+                                        const std::string& path) {
+  std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    ++stats_.updates;
+  }
+  PredId pred = db_.program().InternPred(name, arity);
+  return LoadFactsFromFile(&db_, pred, path);
+}
+
+std::vector<std::pair<std::string, int64_t>> QueryService::ListPredicates() {
+  std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+  std::vector<std::pair<std::string, int64_t>> preds;
+  for (PredId pred : db_.StoredPredicates()) {
+    const std::string& name = db_.program().preds().name(pred);
+    // Hide derived evaluation relations (adorned/magic predicates).
+    if (StartsWith(name, "m_") || name.find("__") != std::string::npos ||
+        StartsWith(name, "$")) {
+      continue;
+    }
+    const Relation* rel = db_.GetRelation(pred);
+    preds.emplace_back(db_.program().preds().Display(pred), rel->size());
+  }
+  std::sort(preds.begin(), preds.end());
+  return preds;
+}
+
+}  // namespace chainsplit

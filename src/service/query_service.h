@@ -1,0 +1,258 @@
+#ifndef CHAINSPLIT_SERVICE_QUERY_SERVICE_H_
+#define CHAINSPLIT_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "core/plan_signature.h"
+#include "core/planner.h"
+#include "rel/catalog.h"
+
+namespace chainsplit {
+
+/// QueryService — a concurrent front-end over one shared Database
+/// (docs/service.md).
+///
+/// Concurrency model: a reader/writer lock over the database. Result
+/// *cache hits* run under the shared (read) side, so any number of
+/// repeated queries execute concurrently; everything that can touch
+/// the term pool or the relations — parsing, planning, evaluation,
+/// fact and rule updates — runs under the exclusive side, because even
+/// "read-only" query evaluation writes (magic seeds, adorned
+/// relations, interned terms, lazily built indexes).
+///
+/// Two caches amortize the exclusive work:
+///  * the plan cache maps a PlanSignature (query shape, constants
+///    abstracted to boundness) to the technique the planner chose, and
+///    shares one rectification of the rules per rules epoch;
+///  * the result cache maps the lexically canonicalized query text to
+///    fully formatted answers, validated against per-relation version
+///    counters (epochs) of every relation the query can read.
+///
+/// Invalidation: fact inserts bump the owning relation's version, so a
+/// cached result is revalidated by comparing its dependency snapshot;
+/// rule changes bump the service-wide rules epoch, which drops both
+/// caches wholesale.
+struct ServiceOptions {
+  PlannerOptions planner;
+
+  bool enable_plan_cache = true;
+  bool enable_result_cache = true;
+  /// LRU capacities (entries).
+  size_t plan_cache_capacity = 128;
+  size_t result_cache_capacity = 1024;
+
+  /// Compact the posting chains of a relation the first time a cached
+  /// query depends on it (the service then treats it as read-mostly);
+  /// see Relation::CompactPostings and the storage telemetry.
+  bool compact_read_mostly = true;
+
+  /// Deadline applied to every request that does not set its own.
+  /// Zero = no deadline.
+  std::chrono::milliseconds default_deadline{0};
+};
+
+/// Per-request knobs.
+struct RequestOptions {
+  /// Zero = use the service default.
+  std::chrono::milliseconds deadline{0};
+  /// Optional caller-owned cancellation token (e.g. the server's
+  /// shutdown token); chained under the per-request deadline token.
+  const CancelToken* cancel = nullptr;
+  /// Skip both caches and do not populate them — the uncached
+  /// reference path used by differential tests and baselines.
+  bool bypass_cache = false;
+};
+
+/// One answered query. Rows are pre-formatted strings: a cache hit
+/// must not touch the term pool (formatting TermIds outside the lock
+/// could race a concurrent intern), so the service renders values
+/// while it still holds the lock and the response is self-contained.
+struct QueryResponse {
+  Status status;
+
+  /// Variable names in first-occurrence order, as written in *this*
+  /// request's text (cache hits remap the cached row values onto the
+  /// caller's own names).
+  std::vector<std::string> vars;
+  /// One row per answer: formatted values of `vars`.
+  std::vector<std::vector<std::string>> rows;
+
+  Technique technique = Technique::kTopDown;
+  std::string plan;
+  bool plan_cache_hit = false;
+  bool result_cache_hit = false;
+
+  /// Evaluator work measures. On kDeadlineExceeded/kCancelled these
+  /// hold the partial work done before the cutoff.
+  SemiNaiveStats seminaive_stats;
+  BufferedStats buffered_stats;
+  TopDownStats topdown_stats;
+};
+
+/// Outcome of one Update (facts and/or rules, possibly with embedded
+/// queries, as in a program file).
+struct UpdateResponse {
+  Status status;
+  int64_t new_facts = 0;
+  int64_t new_rules = 0;
+  /// Responses to queries embedded in the update text, in order.
+  std::vector<QueryResponse> query_responses;
+};
+
+/// Service-wide counters (monotone; read with stats()).
+struct ServiceStats {
+  int64_t queries = 0;
+  int64_t updates = 0;
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t result_cache_hits = 0;
+  int64_t result_cache_misses = 0;
+  /// Result entries found but dropped because a dependency's version
+  /// moved (fact update) — counted on top of the miss.
+  int64_t result_cache_invalidations = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t cancelled = 0;
+  /// Postings-compaction telemetry (read-mostly marking).
+  int64_t compacted_relations = 0;
+  int64_t compaction_blocks_before = 0;
+  int64_t compaction_blocks_after = 0;
+  int64_t compaction_moved_blocks = 0;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = {});
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// The underlying database. Unsynchronized — only for single-threaded
+  /// setup (seeding facts before serving) and tests.
+  Database& db() { return db_; }
+
+  /// Evaluates one query statement (`?- goal, ... .`). Any other text
+  /// shape is an InvalidArgument.
+  QueryResponse Query(std::string_view text,
+                      const RequestOptions& request = {});
+
+  /// Parses `text` (facts, rules, queries — e.g. a whole program
+  /// file), inserts the new facts, and runs any embedded queries.
+  /// Rule additions bump the rules epoch and drop both caches.
+  UpdateResponse Update(std::string_view text,
+                        const RequestOptions& request = {});
+
+  /// Reads and Update()s the file at `path`.
+  UpdateResponse LoadFile(const std::string& path,
+                          const RequestOptions& request = {});
+
+  /// Bulk-loads delimited facts into `name/arity`; returns the number
+  /// of new tuples.
+  StatusOr<int64_t> LoadCsv(const std::string& name, int arity,
+                            const std::string& path);
+
+  /// Stored predicates visible to users (derived evaluation relations
+  /// are hidden): display name and tuple count.
+  std::vector<std::pair<std::string, int64_t>> ListPredicates();
+
+  ServiceStats stats() const;
+  uint64_t rules_epoch() const;
+
+ private:
+  struct ResultEntry {
+    /// (pred, relation version) snapshot of every relation the query
+    /// can read, taken at evaluation time under the exclusive lock.
+    std::vector<std::pair<PredId, uint64_t>> deps;
+    uint64_t rules_epoch = 0;
+    /// Formatted row values in canonical variable order.
+    std::vector<std::vector<std::string>> rows;
+    size_t num_vars = 0;
+    Technique technique = Technique::kTopDown;
+    std::string plan;
+    SemiNaiveStats seminaive_stats;
+    BufferedStats buffered_stats;
+    TopDownStats topdown_stats;
+  };
+  struct PlanEntry {
+    Technique technique = Technique::kTopDown;
+  };
+  /// An LRU string-keyed map: O(1) lookup, recency bump and eviction.
+  template <typename V>
+  struct LruCache {
+    struct Node {
+      std::string key;
+      std::shared_ptr<V> value;
+    };
+    std::list<Node> order;  // front = most recent
+    std::unordered_map<std::string_view, typename std::list<Node>::iterator>
+        index;
+
+    std::shared_ptr<V> Get(std::string_view key) {
+      auto it = index.find(key);
+      if (it == index.end()) return nullptr;
+      order.splice(order.begin(), order, it->second);
+      return it->second->value;
+    }
+    void Put(std::string key, std::shared_ptr<V> value, size_t capacity);
+    void Erase(std::string_view key);
+    void Clear() {
+      index.clear();
+      order.clear();
+    }
+  };
+
+  /// Evaluates `query` under the exclusive lock (already held),
+  /// consulting the plan cache. `signature` may be empty to skip the
+  /// plan cache (bypass mode). (The AST type is written qualified —
+  /// the Query() method shadows it in class scope.)
+  QueryResponse EvaluateLocked(const ::chainsplit::Query& query,
+                               const std::string& signature,
+                               const RequestOptions& request);
+  /// Runs the planner with `cancel` attached; retries unforced when a
+  /// cached forced technique turns out inapplicable.
+  Status RunPlanner(const ::chainsplit::Query& query,
+                    const std::string& signature, const CancelToken* cancel,
+                    QueryResponse* response, QueryResult* result);
+  /// Rectified rules of the current epoch, computed on first use.
+  const std::vector<Rule>* RectifiedRules();
+  /// Marks every dependency relation read-mostly, compacting its
+  /// postings the first time (requires the exclusive lock).
+  void CompactDeps(const std::vector<std::pair<PredId, uint64_t>>& deps);
+  /// Snapshot of the current versions of the relations `preds` read.
+  std::vector<std::pair<PredId, uint64_t>> SnapshotDeps(
+      const std::vector<PredId>& preds);
+  void CountStatus(const Status& status);
+
+  const ServiceOptions options_;
+  Database db_;
+
+  /// Guards db_ (and, for writers, everything below): shared = cache
+  /// hits, exclusive = parse/plan/evaluate/update.
+  mutable std::shared_mutex db_mu_;
+  /// Guards the caches and counters; never held across evaluation.
+  mutable std::mutex cache_mu_;
+
+  LruCache<ResultEntry> result_cache_;
+  LruCache<PlanEntry> plan_cache_;
+  uint64_t rules_epoch_ = 0;
+  /// RectifyRules(db rules) for rectified_epoch_; reused by every
+  /// evaluation of that epoch.
+  std::vector<Rule> rectified_;
+  bool rectified_valid_ = false;
+  std::unordered_set<PredId> read_mostly_;
+  ServiceStats stats_;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,158 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace chainsplit {
+namespace {
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(QueryService* service) : service_(service) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+StatusOr<int> TcpServer::Start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(StrCat("socket: ", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InternalError(StrCat("bind: ", std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InternalError(StrCat("listen: ", std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InternalError(StrCat("getsockname: ", std::strerror(errno)));
+  }
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void TcpServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (shutdown_.cancelled()) return;
+      if (errno == EINTR) continue;
+      return;  // listen socket closed
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      ::close(fd);
+      return;
+    }
+    connections_.push_back(fd);
+    threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  SessionOptions session_options;
+  session_options.tcp_mode = true;
+  session_options.cancel = &shutdown_;
+  Session session(service_, session_options);
+
+  std::string banner = "% chainsplit ready\n.\n";
+  if (!SendAll(fd, banner)) return;
+
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    // Drain complete lines already buffered before reading more.
+    size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buffer.erase(0, newline + 1);
+      std::string out;
+      open = session.HandleLine(line, &out);
+      if (!out.empty() && !SendAll(fd, out)) open = false;
+    }
+    if (!open) break;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // client closed (or Stop() shut the socket down)
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  // Close under the lock: an fd still listed in connections_ is always
+  // open, so Stop() can never shut down a recycled descriptor.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find(connections_.begin(), connections_.end(), fd);
+  if (it != connections_.end()) {
+    connections_.erase(it);
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+void TcpServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  shutdown_.Cancel();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Wake up every connection thread; each closes its own fd on exit.
+    for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int fd : connections_) ::close(fd);
+  connections_.clear();
+  listen_fd_ = -1;
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,62 @@
+#ifndef CHAINSPLIT_SERVICE_SERVER_H_
+#define CHAINSPLIT_SERVICE_SERVER_H_
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "service/query_service.h"
+#include "service/session.h"
+
+namespace chainsplit {
+
+/// A line-protocol TCP front-end over a QueryService: one Session per
+/// connection, one thread per connection (docs/service.md).
+///
+/// Protocol: the client sends the same lines the csdd REPL accepts;
+/// the server answers each completed input with the session's output
+/// followed by a lone "." terminator line. On connect the server sends
+/// a "% chainsplit ready" banner (also "."-terminated). `:quit` closes
+/// the connection.
+class TcpServer {
+ public:
+  explicit TcpServer(QueryService* service);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = pick an ephemeral port) and starts
+  /// the accept loop. Returns the bound port.
+  StatusOr<int> Start(int port);
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+  /// Stops accepting, cancels in-flight requests via the shutdown
+  /// token, closes every connection and joins all threads. Idempotent.
+  void Stop();
+
+  /// Cancellation token chained into every request served; fires on
+  /// Stop().
+  const CancelToken* shutdown_token() const { return &shutdown_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  QueryService* service_;
+  CancelToken shutdown_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mu_;  // guards connections_ and threads_
+  std::vector<int> connections_;
+  std::vector<std::thread> threads_;
+  bool stopped_ = false;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_SERVICE_SERVER_H_

@@ -1,0 +1,185 @@
+#include "service/session.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace chainsplit {
+
+Session::Session(QueryService* service, SessionOptions options)
+    : service_(service), options_(options) {
+  request_.cancel = options_.cancel;
+}
+
+const char* Session::HelpText() {
+  return
+      "  ?- goal, goal.          run a query\n"
+      "  head :- body.           add a rule (or `fact.`)\n"
+      "  :load FILE              load a program file\n"
+      "  :csv PRED/ARITY FILE    bulk-load facts (comma separated)\n"
+      "  :plan                   toggle plan printing\n"
+      "  :stats                  toggle evaluation statistics\n"
+      "  :deadline MS            per-query deadline (0 = none)\n"
+      "  :preds                  list predicates with stored facts\n"
+      "  :cache                  service cache/deadline counters\n"
+      "  :quit                   exit\n";
+}
+
+void Session::AppendQueryResponse(const QueryResponse& response,
+                                  std::string* out) {
+  if (!response.status.ok()) {
+    ++error_count_;
+    *out += StrCat("error: ", response.status.ToString(), "\n");
+    return;
+  }
+  if (options_.show_plan) {
+    *out += StrCat("% technique: ", TechniqueToString(response.technique),
+                   response.result_cache_hit ? " (result cache)" : "",
+                   response.plan_cache_hit ? " (plan cache)" : "", "\n");
+    *out += response.plan;
+  }
+  if (response.vars.empty()) {
+    *out += response.rows.empty() ? "no\n" : "yes\n";
+  } else if (response.rows.empty()) {
+    *out += "no answers\n";
+  } else {
+    for (const std::vector<std::string>& row : response.rows) {
+      std::vector<std::string> bindings;
+      bindings.reserve(row.size());
+      for (size_t i = 0; i < response.vars.size(); ++i) {
+        bindings.push_back(StrCat(response.vars[i], " = ", row[i]));
+      }
+      *out += StrCat(StrJoin(bindings, ", "), "\n");
+    }
+    *out += StrCat("% ", response.rows.size(), " answer(s)\n");
+  }
+  if (options_.show_stats) {
+    *out += StrCat(
+        "% seminaive: ", response.seminaive_stats.total_derived,
+        " derived in ", response.seminaive_stats.iterations,
+        " iterations; buffered: ", response.buffered_stats.nodes, " states, ",
+        response.buffered_stats.buffered_values,
+        " buffered; sld: ", response.topdown_stats.steps, " steps\n");
+  }
+}
+
+void Session::Consume(const std::string& text, std::string* out) {
+  // A lone query statement goes through the cached query path; other
+  // input (facts, rules, mixed files) is an update.
+  if (CanonicalizeQueryText(text).has_value()) {
+    AppendQueryResponse(service_->Query(text, request_), out);
+    return;
+  }
+  UpdateResponse update = service_->Update(text, request_);
+  if (!update.status.ok()) {
+    ++error_count_;
+    *out += StrCat("parse error: ", update.status.ToString(), "\n");
+    return;
+  }
+  for (const QueryResponse& qr : update.query_responses) {
+    AppendQueryResponse(qr, out);
+  }
+}
+
+bool Session::HandleCommand(const std::string& line, std::string* out) {
+  size_t space = line.find(' ');
+  std::string cmd = line.substr(0, space);
+  std::string args = space == std::string::npos ? "" : line.substr(space + 1);
+  if (cmd == ":quit" || cmd == ":q") return false;
+  if (cmd == ":help") {
+    *out += HelpText();
+  } else if (cmd == ":load") {
+    UpdateResponse loaded = service_->LoadFile(args, request_);
+    if (!loaded.status.ok()) {
+      ++error_count_;
+      *out += StrCat("error: ", loaded.status.ToString(), "\n");
+    } else {
+      for (const QueryResponse& qr : loaded.query_responses) {
+        AppendQueryResponse(qr, out);
+      }
+      *out += StrCat("% loaded ", args, "\n");
+    }
+  } else if (cmd == ":csv") {
+    std::vector<std::string> parts = StrSplit(args, ' ');
+    std::vector<std::string> spec =
+        parts.empty() ? std::vector<std::string>()
+                      : StrSplit(parts[0], '/');
+    if (parts.size() != 2 || spec.size() != 2) {
+      ++error_count_;
+      *out += "usage: :csv PRED/ARITY FILE\n";
+    } else {
+      StatusOr<int64_t> loaded = service_->LoadCsv(
+          spec[0], std::atoi(spec[1].c_str()), parts[1]);
+      if (!loaded.ok()) {
+        ++error_count_;
+        *out += StrCat("error: ", loaded.status().ToString(), "\n");
+      } else {
+        *out += StrCat("% ", *loaded, " new tuples into ", parts[0], "\n");
+      }
+    }
+  } else if (cmd == ":plan") {
+    options_.show_plan = !options_.show_plan;
+    *out += StrCat("% plan printing ", options_.show_plan ? "on" : "off",
+                   "\n");
+  } else if (cmd == ":stats") {
+    options_.show_stats = !options_.show_stats;
+    *out += StrCat("% statistics ", options_.show_stats ? "on" : "off", "\n");
+  } else if (cmd == ":deadline") {
+    request_.deadline = std::chrono::milliseconds(std::atoll(args.c_str()));
+    *out += StrCat("% deadline ", request_.deadline.count(), " ms\n");
+  } else if (cmd == ":preds") {
+    for (const auto& [name, size] : service_->ListPredicates()) {
+      *out += StrCat("  ", name, "  ", size, " tuples\n");
+    }
+  } else if (cmd == ":cache") {
+    ServiceStats stats = service_->stats();
+    *out += StrCat("% queries ", stats.queries, ", updates ", stats.updates,
+                   "\n% result cache: ", stats.result_cache_hits, " hits, ",
+                   stats.result_cache_misses, " misses, ",
+                   stats.result_cache_invalidations, " invalidations\n",
+                   "% plan cache: ", stats.plan_cache_hits, " hits, ",
+                   stats.plan_cache_misses, " misses\n",
+                   "% deadlines exceeded ", stats.deadline_exceeded,
+                   ", cancelled ", stats.cancelled, "\n",
+                   "% compacted ", stats.compacted_relations, " relations (",
+                   stats.compaction_blocks_before, " -> ",
+                   stats.compaction_blocks_after, " posting blocks)\n");
+  } else {
+    ++error_count_;
+    *out += StrCat("unknown command ", cmd, " — :help\n");
+  }
+  return true;
+}
+
+void Session::Finish(std::string* out) {
+  if (options_.tcp_mode) *out += ".\n";
+}
+
+bool Session::HandleLine(const std::string& line, std::string* out) {
+  if (pending_.empty() && !line.empty() && line[0] == ':') {
+    bool keep_going = HandleCommand(line, out);
+    Finish(out);
+    return keep_going;
+  }
+  pending_ += line;
+  pending_ += "\n";
+  std::string trimmed = pending_;
+  while (!trimmed.empty() &&
+         std::isspace(static_cast<unsigned char>(trimmed.back()))) {
+    trimmed.pop_back();
+  }
+  if (trimmed.empty()) {
+    pending_.clear();
+    return true;
+  }
+  if (trimmed.back() == '.') {
+    std::string text = std::move(pending_);
+    pending_.clear();
+    Consume(text, out);
+    Finish(out);
+  }
+  return true;
+}
+
+}  // namespace chainsplit

@@ -292,5 +292,53 @@ TEST(RelationTest, RandomizedDifferentialAgainstOracle) {
   }
 }
 
+TEST(RelationTest, VersionBumpsOnNewRowsAndClear) {
+  Relation rel(2);
+  const uint64_t v0 = rel.version();
+  EXPECT_TRUE(rel.Insert({1, 2}));
+  EXPECT_GT(rel.version(), v0);
+  const uint64_t v1 = rel.version();
+  EXPECT_FALSE(rel.Insert({1, 2}));  // duplicate: contents unchanged
+  EXPECT_EQ(rel.version(), v1);
+  rel.Clear();
+  EXPECT_GT(rel.version(), v1);
+}
+
+TEST(RelationTest, CompactPostingsPreservesProbeResultsAndOrder) {
+  // Interleave two key ranges so their posting chains fragment: rows of
+  // each key land in blocks separated by the other keys' blocks.
+  Relation rel(2);
+  for (TermId i = 0; i < 4000; ++i) rel.Insert({i % 7, i});
+  std::vector<std::vector<int64_t>> before(7);
+  for (TermId k = 0; k < 7; ++k) {
+    before[k].assign(rel.Probe({0}, {k}).begin(), rel.Probe({0}, {k}).end());
+    ASSERT_FALSE(before[k].empty());
+  }
+  // Also fragment a second index over the same pool.
+  Tuple key1 = {11};
+  rel.ProbeEach({1}, key1.data(), [](int64_t) {});
+
+  const int64_t pool_before = rel.telemetry().posting_blocks;
+  Relation::CompactionStats stats = rel.CompactPostings();
+  EXPECT_EQ(stats.blocks_before, pool_before);
+  EXPECT_GT(stats.chains, 0);
+  EXPECT_GT(stats.moved_blocks, 0);  // interleaving fragmented the chains
+  EXPECT_LE(stats.blocks_after, stats.blocks_before);
+  EXPECT_EQ(rel.telemetry().posting_blocks, stats.blocks_after);
+  EXPECT_EQ(rel.telemetry().compactions, 1);
+
+  for (TermId k = 0; k < 7; ++k) {
+    std::vector<int64_t> after(rel.Probe({0}, {k}).begin(),
+                               rel.Probe({0}, {k}).end());
+    EXPECT_EQ(after, before[k]) << "key " << k;
+  }
+  // The relation stays fully usable: inserts extend compacted chains.
+  EXPECT_TRUE(rel.Insert({3, 9999}));
+  std::vector<int64_t> extended(rel.Probe({0}, {3}).begin(),
+                                rel.Probe({0}, {3}).end());
+  ASSERT_EQ(extended.size(), before[3].size() + 1);
+  EXPECT_EQ(extended.back(), rel.num_rows() - 1);
+}
+
 }  // namespace
 }  // namespace chainsplit

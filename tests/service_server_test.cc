@@ -1,0 +1,156 @@
+// TcpServer smoke test: real sockets on loopback, the csdd line
+// protocol, concurrent client connections, clean shutdown.
+
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace chainsplit {
+namespace {
+
+/// A minimal blocking client for the "."-framed line protocol.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  bool Send(const std::string& text) {
+    return ::send(fd_, text.data(), text.size(), 0) ==
+           static_cast<ssize_t>(text.size());
+  }
+
+  /// Reads until the lone "." terminator line; returns the response
+  /// without it (empty string on disconnect).
+  std::string ReadResponse() {
+    std::string response;
+    while (true) {
+      size_t newline;
+      while ((newline = buffer_.find('\n')) != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        if (line == ".") return response;
+        response += line;
+        response += "\n";
+      }
+      char chunk[1024];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+TEST(ServiceServerTest, ServesQueriesOverTcp) {
+  QueryService service;
+  UpdateResponse seeded = service.Update(
+      "edge(x, y).\nedge(y, z).\n"
+      "tc(A, B) :- edge(A, B).\n"
+      "tc(A, B) :- edge(A, C), tc(C, B).\n");
+  ASSERT_TRUE(seeded.status.ok());
+
+  TcpServer server(&service);
+  StatusOr<int> port = server.Start(0);  // ephemeral
+  ASSERT_TRUE(port.ok()) << port.status();
+  ASSERT_GT(*port, 0);
+
+  Client client(*port);
+  ASSERT_TRUE(client.connected());
+  EXPECT_NE(client.ReadResponse().find("ready"), std::string::npos);
+
+  ASSERT_TRUE(client.Send("?- tc(x, Y).\n"));
+  std::string answer = client.ReadResponse();
+  EXPECT_NE(answer.find("Y = y"), std::string::npos) << answer;
+  EXPECT_NE(answer.find("Y = z"), std::string::npos) << answer;
+  EXPECT_NE(answer.find("2 answer(s)"), std::string::npos) << answer;
+
+  // A fact added over the wire is visible to the next query; the
+  // second query of the same text was served from the result cache
+  // before the update and recomputed after.
+  ASSERT_TRUE(client.Send("edge(z, w).\n"));
+  client.ReadResponse();
+  ASSERT_TRUE(client.Send("?- tc(x, Y).\n"));
+  answer = client.ReadResponse();
+  EXPECT_NE(answer.find("Y = w"), std::string::npos) << answer;
+  EXPECT_NE(answer.find("3 answer(s)"), std::string::npos) << answer;
+
+  // Errors are reported in-band, not by dropping the connection.
+  ASSERT_TRUE(client.Send("p(a&.\n"));
+  EXPECT_NE(client.ReadResponse().find("parse error"), std::string::npos);
+
+  // Multi-line clause accumulation works over the wire too.
+  ASSERT_TRUE(client.Send("?- tc(x,\n"));
+  ASSERT_TRUE(client.Send("Y).\n"));
+  EXPECT_NE(client.ReadResponse().find("3 answer(s)"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(ServiceServerTest, ConcurrentClientsGetConsistentAnswers) {
+  QueryService service;
+  std::string text =
+      "tc(A, B) :- edge(A, B).\n"
+      "tc(A, B) :- edge(A, C), tc(C, B).\n";
+  for (int i = 0; i < 20; ++i) {
+    text += "edge(a" + std::to_string(i) + ", a" + std::to_string(i + 1) +
+            ").\n";
+  }
+  ASSERT_TRUE(service.Update(text).status.ok());
+
+  TcpServer server(&service);
+  StatusOr<int> port = server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  std::vector<std::thread> clients;
+  std::vector<int> answer_counts(6, -1);
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(*port);
+      if (!client.connected()) return;
+      client.ReadResponse();  // banner
+      int last = -1;
+      for (int i = 0; i < 10; ++i) {
+        if (!client.Send("?- tc(a0, Y).\n")) return;
+        std::string answer = client.ReadResponse();
+        if (answer.find("20 answer(s)") != std::string::npos) last = 20;
+      }
+      answer_counts[c] = last;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < 6; ++c) EXPECT_EQ(answer_counts[c], 20) << "client " << c;
+
+  EXPECT_GT(service.stats().result_cache_hits, 0);
+  server.Stop();
+  // Stop is idempotent and leaves the service usable in-process.
+  server.Stop();
+  EXPECT_TRUE(service.Query("?- tc(a0, Y).").status.ok());
+}
+
+}  // namespace
+}  // namespace chainsplit

@@ -1,0 +1,339 @@
+// QueryService: plan/result caching, epoch invalidation, deadlines,
+// cancellation, and concurrent readers vs. a writer — differentially
+// checked against the uncached (bypass) path.
+
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "service/batch_driver.h"
+#include "workload/graph_gen.h"
+
+namespace chainsplit {
+namespace {
+
+constexpr const char* kTcProgram =
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- edge(X, Z), tc(Z, Y).\n";
+
+/// A service over a chain graph a0 -> a1 -> ... -> a<n>.
+void SeedChain(QueryService* service, int length) {
+  std::string text = kTcProgram;
+  for (int i = 0; i < length; ++i) {
+    text += StrCat("edge(a", i, ", a", i + 1, ").\n");
+  }
+  UpdateResponse seeded = service->Update(text);
+  ASSERT_TRUE(seeded.status.ok()) << seeded.status;
+}
+
+std::string Flatten(const QueryResponse& response) {
+  std::string flat;
+  for (const std::vector<std::string>& row : response.rows) {
+    flat += StrJoin(row, ",");
+    flat += ";";
+  }
+  return flat;
+}
+
+TEST(ServiceTest, RejectsNonQueryText) {
+  QueryService service;
+  EXPECT_EQ(service.Query("p(a, b).").status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.Query("?- p(a, b)").status.code(),  // no terminator
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceTest, ResultCacheHitAndCounters) {
+  QueryService service;
+  SeedChain(&service, 20);
+
+  QueryResponse first = service.Query("?- tc(a0, Y).");
+  ASSERT_TRUE(first.status.ok()) << first.status;
+  EXPECT_FALSE(first.result_cache_hit);
+  EXPECT_EQ(first.rows.size(), 20u);
+
+  QueryResponse second = service.Query("?- tc(a0, Y).");
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.result_cache_hit);
+  EXPECT_EQ(Flatten(second), Flatten(first));
+  EXPECT_EQ(second.vars, first.vars);
+
+  // Same query up to renaming and whitespace: hits, with the caller's
+  // own variable name.
+  QueryResponse renamed = service.Query("?-  tc( a0 , Z ). % comment");
+  ASSERT_TRUE(renamed.status.ok());
+  EXPECT_TRUE(renamed.result_cache_hit);
+  EXPECT_EQ(renamed.vars, (std::vector<std::string>{"Z"}));
+  EXPECT_EQ(Flatten(renamed), Flatten(first));
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.result_cache_hits, 2);
+  EXPECT_EQ(stats.result_cache_misses, 1);
+  EXPECT_EQ(stats.queries, 3);
+}
+
+TEST(ServiceTest, PlanCacheHitsAcrossConstants) {
+  QueryService service;
+  SeedChain(&service, 20);
+
+  QueryResponse first = service.Query("?- tc(a3, Y).");
+  ASSERT_TRUE(first.status.ok()) << first.status;
+  EXPECT_FALSE(first.plan_cache_hit);
+
+  // Different constant, same shape: plan cache hit, result cache miss.
+  QueryResponse second = service.Query("?- tc(a7, Y).");
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_FALSE(second.result_cache_hit);
+  EXPECT_EQ(second.technique, first.technique);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_cache_hits, 1);
+  EXPECT_EQ(stats.plan_cache_misses, 1);
+
+  // The forced (cached-plan) evaluation returns the same answers as a
+  // cache-bypassing reference run.
+  RequestOptions bypass;
+  bypass.bypass_cache = true;
+  QueryResponse reference = service.Query("?- tc(a7, Y).", bypass);
+  ASSERT_TRUE(reference.status.ok());
+  EXPECT_EQ(Flatten(second), Flatten(reference));
+}
+
+TEST(ServiceTest, FactUpdateInvalidatesDependentResults) {
+  QueryService service;
+  SeedChain(&service, 10);
+  service.Update("hub(h1, h2).\n");
+
+  QueryResponse first = service.Query("?- tc(a0, Y).");
+  ASSERT_TRUE(first.status.ok());
+  QueryResponse hub_first = service.Query("?- hub(X, Y).");
+  ASSERT_TRUE(hub_first.status.ok());
+
+  // An update to an *unrelated* relation keeps the tc entry valid.
+  UpdateResponse unrelated = service.Update("hub(h2, h3).\n");
+  ASSERT_TRUE(unrelated.status.ok());
+  EXPECT_TRUE(service.Query("?- tc(a0, Y).").result_cache_hit);
+  // ...but invalidates the hub entry.
+  QueryResponse hub_second = service.Query("?- hub(X, Y).");
+  EXPECT_FALSE(hub_second.result_cache_hit);
+  EXPECT_EQ(hub_second.rows.size(), 2u);
+
+  // Extending the chain invalidates tc and the fresh answers include
+  // the new edge.
+  UpdateResponse extended = service.Update("edge(a10, a11).\n");
+  ASSERT_TRUE(extended.status.ok());
+  QueryResponse after = service.Query("?- tc(a0, Y).");
+  EXPECT_FALSE(after.result_cache_hit);
+  EXPECT_EQ(after.rows.size(), first.rows.size() + 1);
+
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.result_cache_invalidations, 2);
+}
+
+TEST(ServiceTest, RuleUpdateDropsBothCaches) {
+  QueryService service;
+  SeedChain(&service, 5);
+  ASSERT_TRUE(service.Query("?- tc(a0, Y).").status.ok());
+  EXPECT_TRUE(service.Query("?- tc(a0, Y).").result_cache_hit);
+  const uint64_t epoch = service.rules_epoch();
+
+  // A new rule makes every node reach itself-via-loop; cached results
+  // and plans must not survive.
+  UpdateResponse rule = service.Update("tc(X, X) :- edge(X, Y).\n");
+  ASSERT_TRUE(rule.status.ok());
+  EXPECT_EQ(rule.new_rules, 1);
+  EXPECT_GT(service.rules_epoch(), epoch);
+
+  QueryResponse after = service.Query("?- tc(a0, Y).");
+  EXPECT_FALSE(after.result_cache_hit);
+  EXPECT_FALSE(after.plan_cache_hit);
+  EXPECT_EQ(after.rows.size(), 6u);  // a0..a5: the loop rule adds a0
+}
+
+TEST(ServiceTest, CachedEqualsUncachedOnGraphWorkload) {
+  QueryService cached;
+  QueryService uncached;
+  for (QueryService* service : {&cached, &uncached}) {
+    GraphOptions graph;
+    graph.num_nodes = 60;
+    graph.num_edges = 150;
+    graph.seed = 7;
+    GenerateGraph(&service->db(), "edge", graph);
+    UpdateResponse rules = service->Update(kTcProgram);
+    ASSERT_TRUE(rules.status.ok());
+  }
+  RequestOptions bypass;
+  bypass.bypass_cache = true;
+  for (int round = 0; round < 3; ++round) {
+    for (int n = 0; n < 60; n += 6) {
+      std::string query = StrCat("?- tc(n", n, ", Y).");
+      QueryResponse hot = cached.Query(query);
+      QueryResponse cold = uncached.Query(query, bypass);
+      ASSERT_TRUE(hot.status.ok()) << hot.status;
+      ASSERT_TRUE(cold.status.ok()) << cold.status;
+      // Byte-identical formatted answer sets.
+      ASSERT_EQ(Flatten(hot), Flatten(cold)) << query;
+    }
+  }
+  EXPECT_GT(cached.stats().result_cache_hits, 0);
+  EXPECT_EQ(uncached.stats().result_cache_hits, 0);
+}
+
+TEST(ServiceTest, DeadlineExceededReturnsPartialStats) {
+  QueryService service;
+  // A long chain with a hub fan-out makes tc(a0, Y) expensive enough
+  // to trip a microscopic deadline.
+  std::string text = kTcProgram;
+  for (int i = 0; i < 400; ++i) {
+    text += StrCat("edge(b", i, ", b", i + 1, ").\n");
+    text += StrCat("edge(a0, b", i, ").\n");
+  }
+  ASSERT_TRUE(service.Update(text).status.ok());
+
+  // Grow the deadline until an attempt both trips it and got through
+  // at least one evaluator iteration: on a fast machine 1ms already
+  // does, under tsan's slowdown 1ms expires before the first fixpoint
+  // iteration completes (all-zero partial stats).
+  RequestOptions request;
+  QueryResponse response;
+  bool tripped = false;
+  bool completed = false;
+  for (int ms = 1; ms <= 1024; ms *= 2) {
+    request.deadline = std::chrono::milliseconds(ms);
+    QueryResponse attempt = service.Query("?- tc(a0, Y).", request);
+    if (attempt.status.ok()) {
+      // Finished inside the budget; every larger budget would too.
+      completed = true;
+      break;
+    }
+    tripped = true;
+    response = attempt;
+    if (response.seminaive_stats.iterations + response.topdown_stats.steps +
+            response.buffered_stats.levels >
+        0) {
+      break;
+    }
+  }
+  ASSERT_TRUE(tripped) << "deadline never tripped";
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  // Partial work is reported: the evaluator got through some
+  // iterations (or SLD steps) before the cutoff.
+  EXPECT_GT(response.seminaive_stats.iterations +
+                response.topdown_stats.steps +
+                response.buffered_stats.levels,
+            0);
+  EXPECT_FALSE(response.plan.empty());
+  EXPECT_GT(service.stats().deadline_exceeded, 0);
+
+  // The deadline failures were not cached; a deadline-free retry
+  // succeeds (from the cache only if some attempt already completed).
+  QueryResponse retry = service.Query("?- tc(a0, Y0).");
+  EXPECT_TRUE(retry.status.ok()) << retry.status;
+  if (!completed) {
+    EXPECT_FALSE(retry.result_cache_hit);
+  }
+}
+
+TEST(ServiceTest, PreCancelledTokenReturnsCancelled) {
+  QueryService service;
+  SeedChain(&service, 10);
+  CancelToken token;
+  token.Cancel();
+  RequestOptions request;
+  request.cancel = &token;
+  QueryResponse response = service.Query("?- tc(a0, Y).", request);
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+  EXPECT_GT(service.stats().cancelled, 0);
+}
+
+TEST(ServiceTest, CompactsReadMostlyRelationsOnce) {
+  ServiceOptions options;
+  options.compact_read_mostly = true;
+  QueryService service(options);
+  SeedChain(&service, 200);
+
+  ASSERT_TRUE(service.Query("?- tc(a0, Y).").status.ok());
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.compacted_relations, 1);  // edge (and maybe tc)
+  const int64_t compacted = stats.compacted_relations;
+
+  // Further cached queries against the same relations do not recompact.
+  ASSERT_TRUE(service.Query("?- tc(a1, Y).").status.ok());
+  EXPECT_EQ(service.stats().compacted_relations, compacted);
+}
+
+TEST(ServiceTest, ConcurrentReadersWithWriterStayConsistent) {
+  QueryService service;
+  SeedChain(&service, 30);
+
+  // Warm the cache, then hammer it from reader threads while a writer
+  // extends the chain; readers must always see either the old or the
+  // new consistent answer set, never a torn one.
+  QueryResponse warm = service.Query("?- tc(a0, Y).");
+  ASSERT_TRUE(warm.status.ok());
+  const size_t base_answers = warm.rows.size();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> reads{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        QueryResponse response = service.Query("?- tc(a0, Y).");
+        if (!response.status.ok() ||
+            response.rows.size() < base_answers ||
+            response.rows.size() > base_answers + 8) {
+          failures.fetch_add(1);
+        }
+        reads.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 8; ++i) {
+    UpdateResponse update =
+        service.Update(StrCat("edge(a", 30 + i, ", a", 31 + i, ").\n"));
+    if (!update.status.ok()) failures.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(reads.load(), 0);
+  // The final answer set reflects all 8 new edges.
+  QueryResponse final_response = service.Query("?- tc(a0, Y).");
+  ASSERT_TRUE(final_response.status.ok());
+  EXPECT_EQ(final_response.rows.size(), base_answers + 8);
+}
+
+TEST(ServiceTest, BatchDriverReportsThroughputAndHitRate) {
+  QueryService service;
+  SeedChain(&service, 40);
+  std::vector<BatchOp> ops;
+  for (int i = 0; i < 4; ++i) {
+    ops.push_back({BatchOp::Kind::kQuery, StrCat("?- tc(a", i, ", Y).")});
+  }
+  BatchOptions options;
+  options.num_clients = 4;
+  options.ops_per_client = 25;
+  BatchReport report = RunBatchWorkload(&service, ops, options);
+  EXPECT_EQ(report.queries, 100);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_GT(report.qps, 0);
+  EXPECT_GT(report.answer_rows, 0);
+  EXPECT_GE(report.p99_ms, report.p50_ms);
+  // 4 distinct queries, 100 lookups: almost everything after the first
+  // round hits.
+  EXPECT_GT(report.result_hit_rate, 0.9);
+}
+
+}  // namespace
+}  // namespace chainsplit

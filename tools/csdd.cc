@@ -1,205 +1,147 @@
-// csdd — an interactive shell for the ChainSplit deductive database.
+// csdd — an interactive shell and query server for the ChainSplit
+// deductive database.
 //
-//   $ csdd [program.dl ...]
+//   $ csdd [--serve PORT] [program.dl ...]
 //
 // Loads each program file (facts, rules; queries in files run
 // immediately), then reads from stdin:
 //
-//   ?- sg(tom, Y).          run a query
+//   ?- sg(tom, Y).          run a query (cached by the service)
 //   p(a, b).                add a fact or rule
 //   :load FILE              load another program file
 //   :csv PRED/ARITY FILE    bulk-load facts from delimited text
 //   :plan                   toggle plan printing
 //   :stats                  toggle evaluator statistics
+//   :deadline MS            per-query deadline (0 = none)
 //   :preds                  list predicates with stored facts
+//   :cache                  service cache/deadline counters
+//   :serve PORT             serve the TCP line protocol (0 = ephemeral)
 //   :help                   this text
 //   :quit                   exit
+//
+// With --serve PORT the server starts before the REPL. :quit stops
+// everything; a closed stdin (e.g. `csdd --serve 4242 < /dev/null &`)
+// leaves the server running until SIGINT/SIGTERM.
+//
+// Exit status: nonzero when any statement failed while loading files
+// (command line or :load) or while reading non-interactive stdin, so
+// batch pipelines observe errors.
+
+#include <signal.h>
+#include <unistd.h>
 
 #include <cstdio>
-#include <fstream>
+#include <cstdlib>
 #include <iostream>
-#include <sstream>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "chainsplit.h"
 #include "common/strings.h"
+#include "service/query_service.h"
+#include "service/server.h"
+#include "service/session.h"
 
 namespace chainsplit {
 namespace {
 
-struct ShellState {
-  Database db;
-  bool show_plan = false;
-  bool show_stats = false;
-};
-
-void PrintHelp() {
-  std::printf(
-      "  ?- goal, goal.          run a query\n"
-      "  head :- body.           add a rule (or `fact.`)\n"
-      "  :load FILE              load a program file\n"
-      "  :csv PRED/ARITY FILE    bulk-load facts (comma separated)\n"
-      "  :plan                   toggle plan printing\n"
-      "  :stats                  toggle evaluation statistics\n"
-      "  :preds                  list predicates with stored facts\n"
-      "  :quit                   exit\n");
-}
-
-void RunQuery(ShellState* state, const Query& query) {
-  auto result = EvaluateQuery(&state->db, query);
-  if (!result.ok()) {
-    std::printf("error: %s\n", result.status().ToString().c_str());
-    return;
-  }
-  if (state->show_plan) {
-    std::printf("%% technique: %s\n%s",
-                TechniqueToString(result->technique), result->plan.c_str());
-  }
-  const TermPool& pool = state->db.pool();
-  if (result->vars.empty()) {
-    std::printf(result->answers.empty() ? "no\n" : "yes\n");
-  } else if (result->answers.empty()) {
-    std::printf("no answers\n");
-  } else {
-    for (const Tuple& row : result->answers) {
-      std::vector<std::string> bindings;
-      for (size_t i = 0; i < result->vars.size(); ++i) {
-        bindings.push_back(StrCat(pool.ToString(result->vars[i]), " = ",
-                                  pool.ToString(row[i])));
-      }
-      std::printf("%s\n", StrJoin(bindings, ", ").c_str());
-    }
-    std::printf("%% %zu answer(s)\n", result->answers.size());
-  }
-  if (state->show_stats) {
-    std::printf(
-        "%% seminaive: %lld derived in %lld iterations; buffered: %lld "
-        "states, %lld buffered; sld: %lld steps\n",
-        static_cast<long long>(result->seminaive_stats.total_derived),
-        static_cast<long long>(result->seminaive_stats.iterations),
-        static_cast<long long>(result->buffered_stats.nodes),
-        static_cast<long long>(result->buffered_stats.buffered_values),
-        static_cast<long long>(result->topdown_stats.steps));
-  }
-}
-
-/// Parses `text` as program input and executes it: facts/rules are
-/// added, queries run immediately.
-void Consume(ShellState* state, const std::string& text) {
-  Program& program = state->db.program();
-  size_t facts_before = program.facts().size();
-  size_t queries_before = program.queries().size();
-  Status status = ParseProgram(text, &program);
-  if (!status.ok()) {
-    std::printf("parse error: %s\n", status.ToString().c_str());
-    return;
-  }
-  // Load only the newly added facts.
-  for (size_t i = facts_before; i < program.facts().size(); ++i) {
-    const Atom& fact = program.facts()[i];
-    state->db.InsertFact(fact.pred, fact.args);
-  }
-  for (size_t i = queries_before; i < program.queries().size(); ++i) {
-    RunQuery(state, program.queries()[i]);
-  }
-}
-
-void LoadFile(ShellState* state, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::printf("error: cannot open %s\n", path.c_str());
-    return;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  Consume(state, buffer.str());
-  std::printf("%% loaded %s\n", path.c_str());
-}
-
-void LoadCsv(ShellState* state, const std::string& args) {
-  std::vector<std::string> parts = StrSplit(args, ' ');
-  if (parts.size() != 2 || parts[0].find('/') == std::string::npos) {
-    std::printf("usage: :csv PRED/ARITY FILE\n");
-    return;
-  }
-  std::vector<std::string> spec = StrSplit(parts[0], '/');
-  int arity = std::atoi(spec[1].c_str());
-  PredId pred = state->db.program().InternPred(spec[0], arity);
-  auto loaded = LoadFactsFromFile(&state->db, pred, parts[1]);
-  if (!loaded.ok()) {
-    std::printf("error: %s\n", loaded.status().ToString().c_str());
-    return;
-  }
-  std::printf("%% %lld new tuples into %s\n",
-              static_cast<long long>(*loaded), parts[0].c_str());
-}
-
-void ListPreds(ShellState* state) {
-  for (PredId pred : state->db.StoredPredicates()) {
-    const std::string& name = state->db.program().preds().name(pred);
-    // Hide derived evaluation relations (adorned and magic predicates).
-    if (StartsWith(name, "m_") || name.find("__") != std::string::npos) {
-      continue;
-    }
-    const Relation* rel = state->db.GetRelation(pred);
-    std::printf("  %-24s %lld tuples\n",
-                state->db.program().preds().Display(pred).c_str(),
-                static_cast<long long>(rel->size()));
-  }
-}
-
 int Run(int argc, char** argv) {
-  ShellState state;
-  for (int i = 1; i < argc; ++i) LoadFile(&state, argv[i]);
-
-  std::string line;
-  std::string pending;
-  bool tty = isatty(0);
-  if (tty) {
-    std::printf("ChainSplit-DDB shell — :help for commands\n");
+  int serve_port = -1;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--serve" && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+    } else if (StartsWith(arg, "--serve=")) {
+      serve_port = std::atoi(arg.c_str() + 8);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: csdd [--serve PORT] [program.dl ...]\n%s",
+                  Session::HelpText());
+      return 0;
+    } else {
+      files.push_back(std::move(arg));
+    }
   }
+
+  QueryService service;
+  Session session(&service, {});
+  int load_errors = 0;
+  for (const std::string& file : files) {
+    int errors_before = session.error_count();
+    std::string out;
+    session.HandleLine(StrCat(":load ", file), &out);
+    std::fputs(out.c_str(), stdout);
+    load_errors += session.error_count() - errors_before;
+  }
+
+  std::unique_ptr<TcpServer> server;
+  if (serve_port >= 0) {
+    server = std::make_unique<TcpServer>(&service);
+    StatusOr<int> port = server->Start(serve_port);
+    if (!port.ok()) {
+      std::printf("error: %s\n", port.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%% serving on port %d\n", *port);
+    std::fflush(stdout);
+  }
+
+  const bool tty = isatty(0) != 0;
+  if (tty) std::printf("ChainSplit-DDB shell — :help for commands\n");
+  std::string line;
+  int stdin_errors = 0;
+  bool quit = false;
   while (true) {
-    if (tty) std::printf(pending.empty() ? "csdd> " : "....> ");
+    if (tty) std::printf(session.has_pending() ? "....> " : "csdd> ");
     if (!std::getline(std::cin, line)) break;
-    // Command lines.
-    if (pending.empty() && !line.empty() && line[0] == ':') {
-      size_t space = line.find(' ');
-      std::string cmd = line.substr(0, space);
-      std::string args =
-          space == std::string::npos ? "" : line.substr(space + 1);
-      if (cmd == ":quit" || cmd == ":q") break;
-      if (cmd == ":help") {
-        PrintHelp();
-      } else if (cmd == ":load") {
-        LoadFile(&state, args);
-      } else if (cmd == ":csv") {
-        LoadCsv(&state, args);
-      } else if (cmd == ":plan") {
-        state.show_plan = !state.show_plan;
-        std::printf("%% plan printing %s\n", state.show_plan ? "on" : "off");
-      } else if (cmd == ":stats") {
-        state.show_stats = !state.show_stats;
-        std::printf("%% statistics %s\n", state.show_stats ? "on" : "off");
-      } else if (cmd == ":preds") {
-        ListPreds(&state);
-      } else {
-        std::printf("unknown command %s — :help\n", cmd.c_str());
+    // :serve needs the server object, so it is handled here rather
+    // than in the session.
+    if (!session.has_pending() && StartsWith(line, ":serve")) {
+      if (server != nullptr) {
+        std::printf("%% already serving on port %d\n", server->port());
+        continue;
       }
+      server = std::make_unique<TcpServer>(&service);
+      StatusOr<int> port =
+          server->Start(std::atoi(line.c_str() + 6));
+      if (!port.ok()) {
+        std::printf("error: %s\n", port.status().ToString().c_str());
+        server.reset();
+        ++stdin_errors;
+        continue;
+      }
+      std::printf("%% serving on port %d\n", *port);
+      std::fflush(stdout);
       continue;
     }
-    // Clause lines: accumulate until a terminating '.'.
-    pending += line;
-    pending += "\n";
-    std::string trimmed = pending;
-    while (!trimmed.empty() &&
-           std::isspace(static_cast<unsigned char>(trimmed.back()))) {
-      trimmed.pop_back();
-    }
-    if (!trimmed.empty() && trimmed.back() == '.') {
-      Consume(&state, pending);
-      pending.clear();
+    int errors_before = session.error_count();
+    std::string out;
+    bool keep_going = session.HandleLine(line, &out);
+    std::fputs(out.c_str(), stdout);
+    std::fflush(stdout);
+    int new_errors = session.error_count() - errors_before;
+    stdin_errors += new_errors;
+    if (StartsWith(line, ":load")) load_errors += new_errors;
+    if (!keep_going) {
+      quit = true;
+      break;
     }
   }
+  if (server != nullptr && !quit) {
+    // stdin closed while serving: a daemon-style launch. Stay up until
+    // SIGINT/SIGTERM, then shut down cleanly. (A signal landing on a
+    // server thread still terminates the process, which is fine.)
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    int sig = 0;
+    sigwait(&set, &sig);
+  }
+  if (server != nullptr) server->Stop();
+  if (load_errors > 0) return 1;
+  if (!tty && stdin_errors > 0) return 1;
   return 0;
 }
 
