@@ -60,6 +60,9 @@ void QueryDirected(benchmark::State& state, Technique technique) {
   state.counters["arena_bytes"] = static_cast<double>(storage.arena_bytes);
   state.counters["parallel_batches"] =
       static_cast<double>(storage.parallel_batches);
+  state.counters["partitioned_batches"] =
+      static_cast<double>(storage.partitioned_batches);
+  state.counters["partition_skew"] = storage.partition_skew;
 }
 
 void MagicSets(benchmark::State& state) {
@@ -95,6 +98,9 @@ void FullSemiNaive(benchmark::State& state) {
   state.counters["arena_bytes"] = static_cast<double>(storage.arena_bytes);
   state.counters["parallel_batches"] =
       static_cast<double>(storage.parallel_batches);
+  state.counters["partitioned_batches"] =
+      static_cast<double>(storage.partitioned_batches);
+  state.counters["partition_skew"] = storage.partition_skew;
 }
 
 const std::vector<int64_t> kFamilies = {1, 2, 4, 8};

@@ -8,6 +8,13 @@
 #   bench...   subset of benchmarks to run, by name with or without the
 #              bench_ prefix (default: every bench_* binary found)
 #
+# CHAINSPLIT_SKIP_BENCHES gates heavyweight benches out of the default
+# sweep: a comma-separated list of names (with or without the bench_
+# prefix) skipped when no explicit bench list is given. Example:
+#   CHAINSPLIT_SKIP_BENCHES=partitioned_join bench/run_benchmarks.sh
+# skips the 8-thread partitioned-join comparison on constrained hosts.
+# Explicitly listed benches always run.
+#
 # The JSON is written with --benchmark_out, NOT --benchmark_format:
 # several benches print an explanatory banner on stdout which would
 # corrupt a stdout JSON stream.
@@ -31,8 +38,15 @@ if [[ $# -gt 0 ]]; then
     benches+=("$build_dir/bench/$name")
   done
 else
+  skip=",${CHAINSPLIT_SKIP_BENCHES:-},"
   for bin in "$build_dir"/bench/bench_*; do
-    [[ -x $bin && ! -d $bin ]] && benches+=("$bin")
+    [[ -x $bin && ! -d $bin ]] || continue
+    name=$(basename "$bin")
+    if [[ $skip == *",$name,"* || $skip == *",${name#bench_},"* ]]; then
+      echo "== $name skipped (CHAINSPLIT_SKIP_BENCHES)"
+      continue
+    fi
+    benches+=("$bin")
   done
 fi
 

@@ -12,6 +12,16 @@ inline void HashCombine(size_t* seed, size_t value) {
   *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
 }
 
+/// Final avalanche over a hash-combine chain (murmur3 finalizer) so
+/// consumers of low bits (linear probing) and of high bits (the
+/// partitioned join's partition selector) both see well-spread bits.
+inline size_t HashFinalize(size_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
 /// Hashes a contiguous range of integer ids (tuples, argument lists).
 template <typename Int>
 size_t HashRange(const Int* data, size_t n) {

@@ -4,16 +4,59 @@
 
 #include "common/logging.h"
 
+#if defined(CHAINSPLIT_HAVE_NUMA)
+#include <numa.h>
+#endif
+
 namespace chainsplit {
+namespace {
+
+/// NUMA nodes available to bind workers to; 1 when libnuma is absent
+/// or the machine is single-node (the graceful fallback path).
+int DetectNumaNodes() {
+#if defined(CHAINSPLIT_HAVE_NUMA)
+  if (numa_available() < 0) return 1;
+  return numa_max_node() + 1;
+#else
+  return 1;
+#endif
+}
+
+/// Binds the calling worker thread to `node` so its allocations are
+/// first-touched node-locally. No-op without libnuma.
+void BindWorkerToNode(int node, int nodes) {
+#if defined(CHAINSPLIT_HAVE_NUMA)
+  if (nodes <= 1) return;
+  numa_run_on_node(node);
+  numa_set_preferred(node);
+#else
+  (void)node;
+  (void)nodes;
+#endif
+}
+
+}  // namespace
+
+void ThreadPool::WorkGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkGroup::OnTaskDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--pending_ == 0) cv_.notify_all();
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
     if (num_threads <= 0) num_threads = 1;
   }
+  numa_nodes_ = DetectNumaNodes();
+  hinted_.resize(num_threads);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -24,39 +67,75 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // default_group_ is destroyed after this body; its Wait() returns
+  // immediately because the joined workers drained every queue.
 }
 
-void ThreadPool::WorkerLoop() {
+bool ThreadPool::PopTask(int worker, Task* task) {
+  std::deque<Task>& own = hinted_[worker];
+  if (!own.empty()) {
+    *task = std::move(own.front());
+    own.pop_front();
+  } else if (!shared_queue_.empty()) {
+    *task = std::move(shared_queue_.front());
+    shared_queue_.pop_front();
+  } else {
+    // Steal the oldest task of the nearest busy neighbour; hints are
+    // preferences, not fences, so an idle worker always makes progress.
+    int victim = -1;
+    const int n = size();
+    for (int d = 1; d < n; ++d) {
+      const int w = (worker + d) % n;
+      if (!hinted_[w].empty()) {
+        victim = w;
+        break;
+      }
+    }
+    if (victim < 0) return false;
+    *task = std::move(hinted_[victim].front());
+    hinted_[victim].pop_front();
+  }
+  --queued_;
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  BindWorkerToNode(worker % numa_nodes_, numa_nodes_);
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and queue drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (!PopTask(worker, &task)) return;  // stop_ set, queues drained
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) idle_cv_.notify_all();
-    }
+    task.fn();
+    task.group->OnTaskDone();
   }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::SubmitTask(WorkGroup* group, std::function<void()> task,
+                            int hint) {
+  {
+    std::lock_guard<std::mutex> lock(group->mu_);
+    ++group->pending_;
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     CS_CHECK(!stop_) << "Submit on a stopping ThreadPool";
-    queue_.push_back(std::move(task));
-    ++in_flight_;
+    if (hint >= 0) {
+      hinted_[hint % size()].push_back(Task{std::move(task), group});
+    } else {
+      shared_queue_.push_back(Task{std::move(task), group});
+    }
+    ++queued_;
   }
-  work_cv_.notify_one();
-}
-
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  // Hinted tasks broadcast: the preferred worker may be mid-sleep and
+  // notify_one could wake only a stealer.
+  if (hint >= 0) {
+    work_cv_.notify_all();
+  } else {
+    work_cv_.notify_one();
+  }
 }
 
 void ThreadPool::ParallelFor(
@@ -71,13 +150,14 @@ void ThreadPool::ParallelFor(
     return;
   }
   const int64_t chunk = (n + chunks - 1) / chunks;
+  WorkGroup group(this);
   for (int64_t c = 0; c < chunks; ++c) {
     const int64_t b = begin + c * chunk;
     const int64_t e = std::min(end, b + chunk);
     if (b >= e) break;
-    Submit([&body, b, e] { body(b, e); });
+    group.Submit([&body, b, e] { body(b, e); }, static_cast<int>(c));
   }
-  Wait();
+  group.Wait();
 }
 
 ThreadPool& ThreadPool::Shared() {

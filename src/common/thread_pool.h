@@ -14,13 +14,58 @@ namespace chainsplit {
 /// A small fixed-size work-queue thread pool for data-parallel
 /// relational operators (see HashJoin in rel/ops.cc).
 ///
-/// Usage contract: one orchestrating thread Submits tasks and calls
-/// Wait(); tasks must not throw and must not Submit recursively.
-/// Determinism is the caller's job — partition work into chunks, give
-/// each chunk private output storage, and merge in chunk order after
-/// Wait() returns.
+/// Scheduling: every task belongs to a WorkGroup (a per-caller
+/// completion counter), so independent callers — two concurrent
+/// service queries, a join and a ParallelFor — wait only for their own
+/// tasks, never each other's. Tasks may carry an *affinity hint*: a
+/// hinted task is queued on worker `hint % size()` and taken by that
+/// worker first, so repeated submissions with the same hint land on
+/// the same worker and its caches stay warm (the partitioned join
+/// hints partition p to worker p). Hints are soft — an idle worker
+/// steals from other workers' queues, so progress never depends on
+/// the hinted worker being free.
+///
+/// When built with CHAINSPLIT_HAVE_NUMA (CMake detects numa.h +
+/// libnuma) and the machine has more than one NUMA node, worker i is
+/// bound to node i % nodes at startup, so memory first-touched inside
+/// a hinted task is allocated on the node of the worker that will
+/// keep probing it. Without libnuma (or on one node) this is a no-op.
+///
+/// Usage contract: tasks must not throw and must not Submit
+/// recursively. Determinism is the caller's job — partition work into
+/// chunks, give each chunk private output storage, and merge in chunk
+/// order after Wait() returns.
 class ThreadPool {
  public:
+  /// A per-caller completion token: counts only the tasks submitted
+  /// through it, so Wait() is unaffected by other callers sharing the
+  /// pool. Destroying a WorkGroup waits for its outstanding tasks.
+  class WorkGroup {
+   public:
+    explicit WorkGroup(ThreadPool* pool) : pool_(pool) {}
+    ~WorkGroup() { Wait(); }
+    WorkGroup(const WorkGroup&) = delete;
+    WorkGroup& operator=(const WorkGroup&) = delete;
+
+    /// Enqueues `task`. `affinity_hint` >= 0 prefers worker
+    /// `hint % size()`; -1 lets any worker take it.
+    void Submit(std::function<void()> task, int affinity_hint = -1) {
+      pool_->SubmitTask(this, std::move(task), affinity_hint);
+    }
+
+    /// Blocks until every task submitted through *this group* is done.
+    void Wait();
+
+   private:
+    friend class ThreadPool;
+    void OnTaskDone();
+
+    ThreadPool* pool_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    int64_t pending_ = 0;  // queued + running tasks of this group
+  };
+
   /// `num_threads` == 0 picks std::thread::hardware_concurrency().
   explicit ThreadPool(int num_threads = 0);
   ~ThreadPool();
@@ -29,16 +74,25 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues `task` for execution on a worker thread.
-  void Submit(std::function<void()> task);
+  /// NUMA nodes the workers are spread over (1 without libnuma).
+  int numa_nodes() const { return numa_nodes_; }
 
-  /// Blocks until every submitted task has finished.
-  void Wait();
+  /// Enqueues `task` on the pool's default group (see Wait()).
+  void Submit(std::function<void()> task) {
+    SubmitTask(&default_group_, std::move(task), -1);
+  }
+
+  /// Blocks until every task submitted via Submit() has finished.
+  /// Tasks submitted through explicit WorkGroups are *not* waited for
+  /// — callers with private groups wait on those instead.
+  void Wait() { default_group_.Wait(); }
 
   /// Splits [begin, end) into at most size() contiguous chunks of at
   /// least `min_grain` items and runs `body(chunk_begin, chunk_end)`
   /// on the workers, blocking until all chunks are done. Runs inline
   /// when the range is below min_grain or the pool has one thread.
+  /// Uses a private WorkGroup, so concurrent ParallelFor callers do
+  /// not wait on each other's chunks.
   void ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
                    const std::function<void(int64_t, int64_t)>& body);
 
@@ -46,15 +100,27 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  struct Task {
+    std::function<void()> fn;
+    WorkGroup* group;
+  };
+
+  void SubmitTask(WorkGroup* group, std::function<void()> task, int hint);
+  void WorkerLoop(int worker);
+  /// Pops the next task for `worker` (own hinted queue, then the
+  /// shared queue, then stealing). Caller holds mu_; returns false
+  /// when no task is queued anywhere.
+  bool PopTask(int worker, Task* task);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;  // signals workers: task or stop
-  std::condition_variable idle_cv_;  // signals Wait(): all drained
-  std::deque<std::function<void()>> queue_;
-  int64_t in_flight_ = 0;  // queued + currently running tasks
+  std::deque<Task> shared_queue_;    // unhinted tasks
+  std::vector<std::deque<Task>> hinted_;  // one queue per worker
+  int64_t queued_ = 0;  // tasks across all queues (wake predicate)
   bool stop_ = false;
+  int numa_nodes_ = 1;
+  WorkGroup default_group_{this};
 };
 
 }  // namespace chainsplit

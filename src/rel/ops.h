@@ -38,10 +38,14 @@ struct JoinSpec {
 /// about when merging unshared chains (§1.1); benchmark E8 measures it.
 ///
 /// Above a probe-side row threshold (see SetParallelJoinMinRows) the
-/// probe loop is partitioned across the shared ThreadPool into
-/// thread-local outputs merged in partition order, so the result's
-/// contents *and row order* are identical to the single-threaded path.
-/// `out` must be distinct from `left` and `right`.
+/// join runs in parallel on the shared ThreadPool. The default path
+/// radix-partitions both sides by join-key hash: each worker builds
+/// and probes one partition's private hash table (stable
+/// worker<->partition affinity, NUMA first-touch when available — see
+/// docs/perf_notes.md), and the per-partition outputs are merged back
+/// in probe-row order. Either way the result's contents *and row
+/// order* are byte-identical to the single-threaded path. `out` must
+/// be distinct from `left` and `right`.
 void HashJoin(const Relation& left, const Relation& right,
               const JoinSpec& spec, const std::vector<int>& output_columns,
               Relation* out);
@@ -63,9 +67,39 @@ void HashJoin(const Relation& left, const Relation& right,
 int64_t SetParallelJoinMinRows(int64_t min_rows);
 
 /// Number of parallel join batches executed process-wide (a batch = one
-/// HashJoin call that took the partitioned path). Monotonic; stats
-/// collectors report deltas.
+/// HashJoin call that took a parallel path, contiguous or
+/// partitioned). Monotonic; stats collectors report deltas.
 int64_t ParallelJoinBatches();
+
+/// Which parallel algorithm HashJoin uses above the row threshold.
+/// kAuto picks partitioned when the build side is large enough to
+/// amortize partitioning, else the contiguous chunked probe; the
+/// explicit modes exist for benchmarks and differential tests.
+enum class ParallelJoinMode {
+  kAuto,
+  kSerial,       // always single-threaded (the determinism oracle)
+  kContiguous,   // PR 1 path: chunked probe of one global index
+  kPartitioned,  // radix-partitioned build + affinity-pinned probe
+};
+
+/// Sets the process-wide parallel join mode; returns the previous one.
+ParallelJoinMode SetParallelJoinMode(ParallelJoinMode mode);
+
+/// Cumulative telemetry of the partitioned join path (process-wide,
+/// monotonic; report deltas). `max_partition_rows` accumulates the
+/// largest build partition of each batch, so
+/// max_partition_rows * partitions / build_rows ~ average skew (1.0 =
+/// perfectly balanced partitions).
+struct PartitionedJoinTelemetry {
+  int64_t batches = 0;             // joins through the partitioned path
+  int64_t contiguous_batches = 0;  // joins through the contiguous path
+  int64_t views_built = 0;         // build-side partitioned views built
+  int64_t partitions = 0;          // sum of partition counts over batches
+  int64_t build_rows = 0;          // build-side rows across batches
+  int64_t max_partition_rows = 0;  // sum over batches of largest partition
+  int64_t probe_rows = 0;          // probe-side rows across batches
+};
+PartitionedJoinTelemetry GetPartitionedJoinTelemetry();
 
 /// Copies the tuples of `in` satisfying `predicate` into `*out`.
 void Select(const Relation& in, const std::function<bool(const Tuple&)>& predicate,

@@ -23,6 +23,35 @@ size_t SlotsFor(size_t rows) {
 
 }  // namespace
 
+// Out-of-line because pviews_ holds unique_ptrs to a type that is
+// incomplete at the member's declaration point.
+Relation::~Relation() = default;
+Relation::Relation(Relation&&) noexcept = default;
+Relation& Relation::operator=(Relation&&) noexcept = default;
+
+PartitionedView* Relation::FindPartitionedView(
+    const std::vector<int>& columns, int partitions) const {
+  for (const std::unique_ptr<PartitionedView>& view : pviews_) {
+    if (view->columns() == columns && view->num_partitions() == partitions) {
+      return view.get();
+    }
+  }
+  return nullptr;
+}
+
+PartitionedView* Relation::CachePartitionedView(
+    std::unique_ptr<PartitionedView> view) const {
+  for (std::unique_ptr<PartitionedView>& slot : pviews_) {
+    if (slot->columns() == view->columns() &&
+        slot->num_partitions() == view->num_partitions()) {
+      slot = std::move(view);
+      return slot.get();
+    }
+  }
+  pviews_.push_back(std::move(view));
+  return pviews_.back().get();
+}
+
 void Relation::Reserve(int64_t n) {
   if (n <= 0) return;
   arena_.reserve(static_cast<size_t>(n) * arity_);
@@ -254,6 +283,115 @@ Relation::CompactionStats Relation::CompactPostings() {
   }
   postings_ = std::move(packed);
   stats.blocks_after = static_cast<int64_t>(postings_.size());
+  return stats;
+}
+
+PartitionedView::PartitionedView(std::vector<int> columns,
+                                 int num_partitions)
+    : columns_(std::move(columns)) {
+  CS_CHECK(num_partitions >= 1 && num_partitions <= kMaxPartitions &&
+           (num_partitions & (num_partitions - 1)) == 0)
+      << "partition count must be a power of two in [1, " << kMaxPartitions
+      << "], got " << num_partitions;
+  CS_CHECK(!columns_.empty()) << "PartitionedView requires key columns";
+  parts_.resize(static_cast<size_t>(num_partitions));
+}
+
+void PartitionedView::AssignRows(const Relation& rel) {
+  const int64_t n = rel.num_rows();
+  row_hashes_.resize(static_cast<size_t>(n));
+  std::vector<int64_t> counts(parts_.size(), 0);
+  TermId key[16];
+  const size_t width = columns_.size();
+  CS_CHECK(width <= 16) << "join key wider than 16 columns";
+  for (int64_t i = 0; i < n; ++i) {
+    const TermId* r = rel.row(i).data();
+    for (size_t k = 0; k < width; ++k) key[k] = r[columns_[k]];
+    const size_t h = KeyHash(key, width);
+    row_hashes_[static_cast<size_t>(i)] = h;
+    ++counts[static_cast<size_t>(PartitionOfHash(h))];
+  }
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    parts_[p].row_ids.clear();
+    parts_[p].row_ids.reserve(static_cast<size_t>(counts[p]));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const int p = PartitionOfHash(row_hashes_[static_cast<size_t>(i)]);
+    parts_[static_cast<size_t>(p)].row_ids.push_back(
+        static_cast<uint32_t>(i));
+  }
+}
+
+void PartitionedView::BuildPartition(const Relation& rel, int p) {
+  Part& part = parts_[static_cast<size_t>(p)];
+  const size_t nrows = part.row_ids.size();
+  part.buckets.clear();
+  part.pool.clear();
+  if (nrows == 0) {
+    part.slots.clear();
+    return;
+  }
+  // Pre-size for one bucket per row (the worst case) so the build
+  // never rehashes: all memory is touched exactly once, here, on the
+  // building worker.
+  part.slots.assign(NextPow2(SlotsFor(nrows)), kEmpty);
+  part.pool.reserve(nrows / PostingBlock::kCapacity + 1);
+  const size_t mask = part.slots.size() - 1;
+  for (uint32_t row_id : part.row_ids) {
+    const TermId* row = rel.row(static_cast<int64_t>(row_id)).data();
+    size_t idx = row_hashes_[row_id] & mask;
+    bool appended = false;
+    while (part.slots[idx] != kEmpty) {
+      Bucket& bucket = part.buckets[part.slots[idx]];
+      const TermId* rep = rel.row(static_cast<int64_t>(bucket.rep)).data();
+      bool same = true;
+      for (int c : columns_) {
+        if (rep[c] != row[c]) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        PostingBlock& tail = part.pool[bucket.tail];
+        if (tail.count < PostingBlock::kCapacity) {
+          tail.rows[tail.count++] = row_id;
+        } else {
+          const uint32_t node = static_cast<uint32_t>(part.pool.size());
+          part.pool.push_back(
+              PostingBlock{{row_id}, 1, Relation::Postings::kNull});
+          part.pool[bucket.tail].next = node;
+          bucket.tail = node;
+        }
+        ++bucket.count;
+        appended = true;
+        break;
+      }
+      idx = (idx + 1) & mask;
+    }
+    if (appended) continue;
+    const uint32_t node = static_cast<uint32_t>(part.pool.size());
+    part.pool.push_back(PostingBlock{{row_id}, 1, Relation::Postings::kNull});
+    part.slots[idx] = static_cast<uint32_t>(part.buckets.size());
+    part.buckets.push_back(Bucket{node, node, 1, row_id});
+  }
+}
+
+void PartitionedView::Finish(const Relation& rel) {
+  built_version_ = rel.version();
+  row_hashes_.clear();
+  row_hashes_.shrink_to_fit();
+}
+
+PartitionedView::SkewStats PartitionedView::skew() const {
+  SkewStats stats;
+  stats.partitions = num_partitions();
+  stats.min_rows = parts_.empty() ? 0 : partition_rows(0);
+  for (int p = 0; p < num_partitions(); ++p) {
+    const int64_t rows = partition_rows(p);
+    stats.total_rows += rows;
+    stats.max_rows = std::max(stats.max_rows, rows);
+    stats.min_rows = std::min(stats.min_rows, rows);
+  }
   return stats;
 }
 

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <iterator>
+#include <memory>
 #include <vector>
 
 #include "common/hash.h"
@@ -11,6 +12,8 @@
 #include "term/term.h"
 
 namespace chainsplit {
+
+class PartitionedView;
 
 /// A database tuple: one interned TermId per column. All values are
 /// ground terms, so tuple equality is memberwise integer equality.
@@ -170,10 +173,11 @@ class Relation {
   };
 
   explicit Relation(int arity) : arity_(arity) {}
+  ~Relation();  // out-of-line: pviews_ holds an incomplete type here
   Relation(const Relation&) = delete;
   Relation& operator=(const Relation&) = delete;
-  Relation(Relation&&) = default;
-  Relation& operator=(Relation&&) = default;
+  Relation(Relation&&) noexcept;
+  Relation& operator=(Relation&&) noexcept;
 
   int arity() const { return arity_; }
   int64_t size() const { return num_rows_; }
@@ -279,6 +283,17 @@ class Relation {
     hash_collisions_ += local.collisions;
   }
 
+  /// Cached hash-partitioned views of this relation (see
+  /// PartitionedView below), keyed by (columns, partitions). Built and
+  /// attached by the partitioned HashJoin; the cache entry survives
+  /// inserts but goes stale (built_version() != version()) and is
+  /// rebuilt by the next join. Same single-writer discipline as
+  /// EnsureIndex: attach before concurrent readers probe.
+  PartitionedView* FindPartitionedView(const std::vector<int>& columns,
+                                       int partitions) const;
+  PartitionedView* CachePartitionedView(
+      std::unique_ptr<PartitionedView> view) const;
+
   /// Copies every tuple of `other` into this relation; returns the
   /// number of new tuples.
   int64_t UnionWith(const Relation& other);
@@ -340,13 +355,9 @@ class Relation {
   }
 
   /// Final avalanche over the hash-combine chain so linear probing sees
-  /// well-spread low bits.
-  static size_t MixHash(size_t h) {
-    h ^= h >> 33;
-    h *= 0xff51afd7ed558ccdULL;
-    h ^= h >> 33;
-    return h;
-  }
+  /// well-spread low bits (shared with PartitionedView, which must
+  /// partition probe keys and stored rows identically).
+  static size_t MixHash(size_t h) { return HashFinalize(h); }
   size_t RowHash(const TermId* row) const {
     return MixHash(HashRange(row, static_cast<size_t>(arity_)));
   }
@@ -392,10 +403,155 @@ class Relation {
   // Indexes are caches: mutating them does not change the logical value.
   mutable std::vector<Index> indexes_;
   mutable std::vector<PostingBlock> postings_;  // shared posting pool
+  mutable std::vector<std::unique_ptr<PartitionedView>> pviews_;
   int64_t insert_attempts_ = 0;
   int64_t compactions_ = 0;
   mutable int64_t probes_ = 0;
   mutable int64_t hash_collisions_ = 0;
+};
+
+/// A hash-partitioned, read-only view of one relation's rows keyed on
+/// a column subset: partition p owns exactly the rows whose key hash
+/// selects p, with an independent hash table (open-addressing slots,
+/// implicit-key buckets, private unrolled posting pool) per partition
+/// — the build side of the topology-aware partitioned HashJoin
+/// (docs/perf_notes.md). A probe key hashes to exactly one partition,
+/// so a worker that owns partition p probes a table ~1/P the size of
+/// the relation-wide index, and the table stays hot in that worker's
+/// cache across fixpoint iterations.
+///
+/// Build is two-phase so the caller controls memory placement:
+/// AssignRows() (single-threaded) hashes every row and scatters row
+/// ids per partition; BuildPartition(p) builds one partition's table
+/// and is safe to run concurrently for distinct p — run it on the
+/// worker that will probe p, so with NUMA-bound workers the table is
+/// first-touched on that worker's node. Finish(version) seals the
+/// view. The view borrows row ids into the relation's arena and does
+/// not copy tuples; it never mutates the relation (probe telemetry
+/// goes to caller-owned ProbeCounters).
+class PartitionedView {
+ public:
+  /// Partition counts are powers of two in [1, kMaxPartitions].
+  static constexpr int kMaxPartitions = 256;
+
+  /// Per-build balance telemetry: a max/ideal ratio of 1.0 is a
+  /// perfectly uniform key spread; skew >> 1 means one partition's
+  /// worker does most of the probing.
+  struct SkewStats {
+    int partitions = 0;
+    int64_t total_rows = 0;  // rows indexed across partitions
+    int64_t max_rows = 0;    // largest partition
+    int64_t min_rows = 0;    // smallest partition
+    double skew() const {
+      if (total_rows <= 0 || partitions <= 0) return 1.0;
+      return static_cast<double>(max_rows) * partitions / total_rows;
+    }
+  };
+
+  PartitionedView(std::vector<int> columns, int num_partitions);
+
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+  const std::vector<int>& columns() const { return columns_; }
+
+  /// Relation::version() this view was built against; stale when the
+  /// relation has moved past it.
+  uint64_t built_version() const { return built_version_; }
+  bool stale(const Relation& rel) const {
+    return built_version_ != rel.version();
+  }
+
+  /// The full key hash (shared with Relation's index hashing) and the
+  /// partition it selects. Partition bits come from the high half of
+  /// the finalized hash; slot indexes use the low bits, so the two
+  /// never alias.
+  static size_t KeyHash(const TermId* key, size_t n) {
+    return HashFinalize(HashRange(key, n));
+  }
+  int PartitionOfHash(size_t hash) const {
+    return static_cast<int>((hash >> 32) & (parts_.size() - 1));
+  }
+
+  /// Phase 1: hashes every row's key columns and scatters row ids into
+  /// per-partition lists (ascending row order — posting order, which
+  /// the deterministic merge depends on).
+  void AssignRows(const Relation& rel);
+
+  /// Phase 2: builds partition p's hash table. Concurrency-safe across
+  /// distinct p after AssignRows; touches only partition-local memory.
+  void BuildPartition(const Relation& rel, int p);
+
+  /// Phase 3: seals the view against rel.version() and drops the
+  /// scratch row-hash cache.
+  void Finish(const Relation& rel);
+
+  int64_t partition_rows(int p) const {
+    return static_cast<int64_t>(parts_[p].row_ids.size());
+  }
+  SkewStats skew() const;
+
+  /// Probes partition p for `key` whose full hash is `hash` (from
+  /// KeyHash; PartitionOfHash(hash) must equal p). Invokes
+  /// `fn(int64_t row_id)` in insertion order, counting into `*local`.
+  template <typename Fn>
+  void ProbeEachHashed(const Relation& rel, int p, const TermId* key,
+                       size_t hash, Relation::ProbeCounters* local,
+                       Fn&& fn) const {
+    ++local->probes;
+    const Part& part = parts_[p];
+    if (part.slots.empty()) return;
+    const size_t mask = part.slots.size() - 1;
+    size_t idx = hash & mask;
+    while (part.slots[idx] != kEmpty) {
+      const Bucket& bucket = part.buckets[part.slots[idx]];
+      if (RowKeyEquals(rel, bucket.rep, key)) {
+        for (uint32_t at = bucket.head; at != Relation::Postings::kNull;
+             at = part.pool[at].next) {
+          const PostingBlock& block = part.pool[at];
+          for (uint32_t s = 0; s < block.count; ++s) {
+            fn(static_cast<int64_t>(block.rows[s]));
+          }
+        }
+        return;
+      }
+      ++local->collisions;
+      idx = (idx + 1) & mask;
+    }
+  }
+
+ private:
+  using PostingBlock = Relation::Postings::PostingBlock;
+  static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
+
+  struct Bucket {
+    uint32_t head;
+    uint32_t tail;
+    uint32_t count;
+    uint32_t rep;  // first row of the bucket; its key is the bucket key
+  };
+
+  /// One partition's private table. Everything here is allocated
+  /// inside BuildPartition (except row_ids, scattered by AssignRows),
+  /// so it is first-touched by the building worker.
+  struct Part {
+    std::vector<uint32_t> row_ids;  // ascending row ids of this partition
+    std::vector<uint32_t> slots;    // open addressing: bucket ids
+    std::vector<Bucket> buckets;
+    std::vector<PostingBlock> pool;
+  };
+
+  bool RowKeyEquals(const Relation& rel, uint32_t row_id,
+                    const TermId* key) const {
+    const TermId* r = rel.row(static_cast<int64_t>(row_id)).data();
+    for (size_t k = 0; k < columns_.size(); ++k) {
+      if (r[columns_[k]] != key[k]) return false;
+    }
+    return true;
+  }
+
+  std::vector<int> columns_;
+  uint64_t built_version_ = 0;
+  std::vector<Part> parts_;
+  std::vector<size_t> row_hashes_;  // scratch between phases 1 and 2
 };
 
 }  // namespace chainsplit

@@ -72,6 +72,7 @@ StatusOr<int> TcpServer::Start(int port) {
 
 void TcpServer::AcceptLoop() {
   while (true) {
+    ReapFinished();
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (shutdown_.cancelled()) return;
@@ -84,40 +85,64 @@ void TcpServer::AcceptLoop() {
       return;
     }
     connections_.push_back(fd);
-    threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    // Reserve the node first so the thread can carry its own stable
+    // iterator (list nodes never move).
+    threads_.emplace_back();
+    auto self = std::prev(threads_.end());
+    *self = std::thread([this, fd, self] { ServeConnection(fd, self); });
   }
 }
 
-void TcpServer::ServeConnection(int fd) {
+void TcpServer::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done.swap(reaped_);
+  }
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::ServeConnection(int fd,
+                                std::list<std::thread>::iterator self) {
   SessionOptions session_options;
   session_options.tcp_mode = true;
   session_options.cancel = &shutdown_;
   Session session(service_, session_options);
 
   std::string banner = "% chainsplit ready\n.\n";
-  if (!SendAll(fd, banner)) return;
-
-  std::string buffer;
-  char chunk[4096];
-  bool open = true;
-  while (open) {
-    // Drain complete lines already buffered before reading more.
-    size_t newline;
-    while (open && (newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      buffer.erase(0, newline + 1);
-      std::string out;
-      open = session.HandleLine(line, &out);
-      if (!out.empty() && !SendAll(fd, out)) open = false;
+  if (SendAll(fd, banner)) {
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+      // Drain every complete buffered line before reading more,
+      // tracking a read offset and compacting the buffer once per
+      // drain — erasing the front per line is quadratic when a
+      // pipelined client sends many lines in one segment.
+      size_t start = 0;
+      size_t newline;
+      while (open &&
+             (newline = buffer.find('\n', start)) != std::string::npos) {
+        std::string line = buffer.substr(start, newline - start);
+        start = newline + 1;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        std::string out;
+        open = session.HandleLine(line, &out);
+        if (!out.empty() && !SendAll(fd, out)) open = false;
+      }
+      if (!open) break;
+      buffer.erase(0, start);
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;  // client closed (or Stop() shut the socket down)
+      buffer.append(chunk, static_cast<size_t>(n));
     }
-    if (!open) break;
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;  // client closed (or Stop() shut the socket down)
-    buffer.append(chunk, static_cast<size_t>(n));
   }
-  // Close under the lock: an fd still listed in connections_ is always
-  // open, so Stop() can never shut down a recycled descriptor.
+  // Single exit path — a banner-send failure must run the same cleanup
+  // or the descriptor leaks. Close under the lock: an fd still listed
+  // in connections_ is always open, so Stop() can never shut down a
+  // recycled descriptor.
   std::lock_guard<std::mutex> lock(mu_);
   auto it = std::find(connections_.begin(), connections_.end(), fd);
   if (it != connections_.end()) {
@@ -125,6 +150,18 @@ void TcpServer::ServeConnection(int fd) {
     ::shutdown(fd, SHUT_RDWR);
     ::close(fd);
   }
+  // Park this thread's own handle for the accept loop to join. When
+  // Stop() already took ownership (stopped_), the handle was spliced
+  // out of threads_ and `self` is no longer ours to touch.
+  if (!stopped_) {
+    reaped_.push_back(std::move(*self));
+    threads_.erase(self);
+  }
+}
+
+int64_t TcpServer::tracked_connection_threads() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(threads_.size() + reaped_.size());
 }
 
 void TcpServer::Stop() {
@@ -139,14 +176,21 @@ void TcpServer::Stop() {
     ::close(listen_fd_);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
+  std::list<std::thread> threads;
+  std::vector<std::thread> reaped;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Wake up every connection thread; each closes its own fd on exit.
+    // Taking the whole list transfers handle ownership to Stop — the
+    // threads see stopped_ and skip their self-reap.
     for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
     threads.swap(threads_);
+    reaped.swap(reaped_);
   }
   for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  for (std::thread& t : reaped) {
     if (t.joinable()) t.join();
   }
   std::lock_guard<std::mutex> lock(mu_);

@@ -1,6 +1,8 @@
 #ifndef CHAINSPLIT_SERVICE_SERVER_H_
 #define CHAINSPLIT_SERVICE_SERVER_H_
 
+#include <cstdint>
+#include <list>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -42,18 +44,35 @@ class TcpServer {
   /// Stop().
   const CancelToken* shutdown_token() const { return &shutdown_; }
 
+  /// Connection threads currently tracked (serving or awaiting reap).
+  /// Test hook for the no-unbounded-growth invariant: after clients
+  /// disconnect and one more connection cycles, this returns to O(live
+  /// connections), not O(connections ever accepted).
+  int64_t tracked_connection_threads();
+
  private:
   void AcceptLoop();
-  void ServeConnection(int fd);
+  /// `self` is this thread's node in threads_; on exit the thread moves
+  /// its own handle to reaped_ (unless Stop() already took ownership).
+  void ServeConnection(int fd, std::list<std::thread>::iterator self);
+  /// Joins every thread parked in reaped_ (called off the accept loop;
+  /// reaped threads have already left ServeConnection or are in its
+  /// final statement, so each join is near-instant).
+  void ReapFinished();
 
   QueryService* service_;
   CancelToken shutdown_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
-  std::mutex mu_;  // guards connections_ and threads_
+  std::mutex mu_;  // guards connections_, threads_, reaped_, stopped_
   std::vector<int> connections_;
-  std::vector<std::thread> threads_;
+  // Live connection threads; a list so each thread can erase its own
+  // node without invalidating others' iterators. Finished handles move
+  // to reaped_ and are joined by the accept loop (or Stop), so neither
+  // container grows with the total number of connections ever served.
+  std::list<std::thread> threads_;
+  std::vector<std::thread> reaped_;
   bool stopped_ = false;
 };
 

@@ -67,6 +67,29 @@ TEST(ChainEvalTest, SeedsWithNoEdges) {
   EXPECT_TRUE(reach->empty());
 }
 
+/// A first-round delta above the bulk-join threshold (512 rows) sends
+/// the closure kernel through HashJoin; the second round falls back to
+/// the per-row probe loop. Both must agree with the hand-computed
+/// closure of 300 disjoint two-edge chains.
+TEST(ChainEvalTest, LargeDeltaTakesJoinStepAndMatchesExpected) {
+  Relation edge(2);
+  constexpr TermId kChains = 300;  // 600 edges > kJoinStepMinDeltaRows
+  for (TermId k = 0; k < kChains; ++k) {
+    edge.Insert({3 * k, 3 * k + 1});
+    edge.Insert({3 * k + 1, 3 * k + 2});
+  }
+  TcStats stats;
+  auto closure = TransitiveClosure(edge, 100, &stats);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(closure->size(), 3 * kChains);
+  for (TermId k = 0; k < kChains; ++k) {
+    EXPECT_TRUE(closure->Contains({3 * k, 3 * k + 1}));
+    EXPECT_TRUE(closure->Contains({3 * k + 1, 3 * k + 2}));
+    EXPECT_TRUE(closure->Contains({3 * k, 3 * k + 2}));
+  }
+  EXPECT_EQ(stats.iterations, 2);  // join round, then probe-loop round
+}
+
 TEST(ChainEvalTest, RandomGraphClosureIsTransitive) {
   Database db;
   GraphOptions options;

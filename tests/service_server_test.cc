@@ -4,12 +4,14 @@
 #include "service/server.h"
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -40,6 +42,19 @@ class Client {
            static_cast<ssize_t>(text.size());
   }
 
+  /// Hard-closes the connection with an RST (SO_LINGER zero), so the
+  /// server's next send on this connection fails — the banner-failure
+  /// path of ServeConnection.
+  void Abort() {
+    if (fd_ < 0) return;
+    struct linger lg {
+      1, 0
+    };
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd_);
+    fd_ = -1;
+  }
+
   /// Reads until the lone "." terminator line; returns the response
   /// without it (empty string on disconnect).
   std::string ReadResponse() {
@@ -65,6 +80,26 @@ class Client {
   bool connected_ = false;
   std::string buffer_;
 };
+
+/// Open descriptors of this process, via /proc/self/fd.
+int CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+/// Spins until `pred` holds or ~5s elapse; returns pred's final value.
+template <typename Pred>
+bool EventuallyTrue(Pred pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
 
 TEST(ServiceServerTest, ServesQueriesOverTcp) {
   QueryService service;
@@ -150,6 +185,103 @@ TEST(ServiceServerTest, ConcurrentClientsGetConsistentAnswers) {
   // Stop is idempotent and leaves the service usable in-process.
   server.Stop();
   EXPECT_TRUE(service.Query("?- tc(a0, Y).").status.ok());
+}
+
+/// Connection churn must not leak fds or thread handles: clients that
+/// quit cleanly, vanish silently, or RST the server mid-banner (the
+/// historical fd-leak path) all leave the process at its baseline fd
+/// count, and finished connection threads get reaped instead of
+/// accumulating until Stop().
+TEST(ServiceServerTest, ConnectionChurnLeaksNoFdsOrThreads) {
+  QueryService service;
+  ASSERT_TRUE(service.Update("p(a).").status.ok());
+  TcpServer server(&service);
+  StatusOr<int> port = server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  {
+    Client warm(*port);  // settle lazy allocations into the baseline
+    ASSERT_TRUE(warm.connected());
+    warm.ReadResponse();
+  }
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return server.tracked_connection_threads() <= 1; }));
+  const int fds_before = CountOpenFds();
+  ASSERT_GT(fds_before, 0);
+
+  constexpr int kChurn = 45;
+  for (int i = 0; i < kChurn; ++i) {
+    Client client(*port);
+    ASSERT_TRUE(client.connected()) << "connection " << i;
+    switch (i % 3) {
+      case 0:  // polite: banner, :quit, server closes
+        client.ReadResponse();
+        client.Send(":quit\n");
+        client.ReadResponse();
+        break;
+      case 1:  // vanishing: close without ever reading
+        break;
+      case 2:  // violent: RST racing the banner send
+        client.Abort();
+        break;
+    }
+  }
+
+  // One more connection cycles the accept loop, which reaps finished
+  // threads before blocking again.
+  ASSERT_TRUE(EventuallyTrue([&] {
+    Client probe(*port);
+    if (!probe.connected()) return false;
+    probe.ReadResponse();
+    probe.Send(":quit\n");
+    probe.ReadResponse();
+    return server.tracked_connection_threads() <= 2;
+  }));
+  EXPECT_LE(server.tracked_connection_threads(), 2)
+      << "dead connection threads must be reaped, not accumulated";
+
+  // All churned sockets must be closed again; allow a little slack for
+  // the final probe connection still draining.
+  EXPECT_TRUE(EventuallyTrue([&] {
+    int now = CountOpenFds();
+    return now >= 0 && now <= fds_before + 2;
+  })) << "fd count grew from " << fds_before << " to " << CountOpenFds();
+
+  server.Stop();
+}
+
+/// A pipelined client that sends a burst of requests in one segment
+/// must get every response, in order — and the server drains the
+/// many-lines-in-one-recv buffer in linear time (read offset +
+/// one compaction per recv, not erase-per-line).
+TEST(ServiceServerTest, PipelinedClientGetsOrderedResponses) {
+  QueryService service;
+  ASSERT_TRUE(service.Update("p(a).\np(b).\nq(c).\n").status.ok());
+  TcpServer server(&service);
+  StatusOr<int> port = server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  Client client(*port);
+  ASSERT_TRUE(client.connected());
+  client.ReadResponse();  // banner
+
+  constexpr int kRequests = 120;
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += i % 2 == 0 ? "?- p(X).\n" : "?- q(X).\n";
+  }
+  ASSERT_TRUE(client.Send(burst));
+  for (int i = 0; i < kRequests; ++i) {
+    std::string answer = client.ReadResponse();
+    if (i % 2 == 0) {
+      EXPECT_NE(answer.find("2 answer(s)"), std::string::npos)
+          << "request " << i << ": " << answer;
+    } else {
+      EXPECT_NE(answer.find("1 answer(s)"), std::string::npos)
+          << "request " << i << ": " << answer;
+    }
+  }
+  server.Stop();
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "rel/ops.h"
@@ -56,6 +59,105 @@ TEST(ThreadPoolTest, ParallelForRunsInlineBelowGrain) {
     for (int64_t i = b; i < e; ++i) sum += i;
   });
   EXPECT_EQ(sum, 49 * 50 / 2);
+}
+
+/// Regression test for the global-in_flight_ Wait() bug: a group's
+/// Wait() must return once *its own* tasks are done, even while another
+/// caller's task is still parked on the pool.
+TEST(ThreadPoolTest, WorkGroupsWaitIndependently) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+
+  ThreadPool::WorkGroup slow(&pool);
+  std::atomic<bool> slow_done{false};
+  slow.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    slow_done.store(true);
+  });
+
+  ThreadPool::WorkGroup fast(&pool);
+  std::atomic<int> fast_count{0};
+  for (int i = 0; i < 100; ++i) {
+    fast.Submit([&fast_count] { fast_count.fetch_add(1); });
+  }
+  fast.Wait();  // would deadlock if Wait() counted the blocked task
+  EXPECT_EQ(fast_count.load(), 100);
+  EXPECT_FALSE(slow_done.load());
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  slow.Wait();
+  EXPECT_TRUE(slow_done.load());
+}
+
+/// Concurrent ParallelFor callers (the two-service-queries scenario)
+/// must each cover exactly their own range and return as soon as their
+/// own chunks are done. Also the tsan target for the pool's queues.
+TEST(ThreadPoolTest, ConcurrentParallelForCallersAreIndependent) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 20;
+  constexpr int64_t kN = 2000;
+  std::atomic<int64_t> bad_rounds{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &bad_rounds] {
+      for (int r = 0; r < kRounds; ++r) {
+        std::vector<int> hits(kN, 0);
+        pool.ParallelFor(0, kN, 64, [&hits](int64_t b, int64_t e) {
+          for (int64_t i = b; i < e; ++i) ++hits[i];
+        });
+        // ParallelFor returned, so every chunk must have run exactly
+        // once and its writes must be visible here.
+        for (int64_t i = 0; i < kN; ++i) {
+          if (hits[i] != 1) {
+            bad_rounds.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(bad_rounds.load(), 0);
+}
+
+/// Affinity hints are soft: a backlog hinted at a blocked worker must
+/// be stolen by the idle ones, and hints past size() wrap around.
+TEST(ThreadPoolTest, IdleWorkersStealHintedBacklog) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+
+  ThreadPool::WorkGroup group(&pool);
+  group.Submit(
+      [&] {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+      },
+      /*affinity_hint=*/0);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    // All hinted at the blocked worker (hint 3 wraps to worker 0).
+    group.Submit([&done] { done.fetch_add(1); }, i % 2 == 0 ? 0 : 3);
+  }
+  // Progress must not depend on worker 0 waking up.
+  while (done.load() < 64) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  group.Wait();
+  EXPECT_EQ(done.load(), 64);
 }
 
 /// The parallel HashJoin path must produce the same tuples in the same
