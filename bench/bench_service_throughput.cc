@@ -27,6 +27,9 @@ constexpr const char* kTcProgram =
 constexpr int kNodes = 200;
 constexpr int kEdges = 500;
 constexpr int kDistinctQueries = 8;
+/// The uncached phase uses a wider query set so concurrent clients
+/// mostly work on different queries (no cache to share anyway).
+constexpr int kDistinctUncachedQueries = 24;
 
 void Seed(QueryService* service) {
   GraphOptions graph;
@@ -44,6 +47,15 @@ std::vector<BatchOp> QueryOps() {
   for (int i = 0; i < kDistinctQueries; ++i) {
     ops.push_back(
         {BatchOp::Kind::kQuery, StrCat("?- tc(n", i * 7, ", Y).")});
+  }
+  return ops;
+}
+
+std::vector<BatchOp> UncachedQueryOps() {
+  std::vector<BatchOp> ops;
+  for (int i = 0; i < kDistinctUncachedQueries; ++i) {
+    ops.push_back(
+        {BatchOp::Kind::kQuery, StrCat("?- tc(n", i * 5, ", Y).")});
   }
   return ops;
 }
@@ -80,6 +92,59 @@ void CheckCachedMatchesUncached() {
               kDistinctQueries);
 }
 
+/// Differential gate for the overlay path, run once at startup: the
+/// shared-lock overlay evaluation must produce byte-identical answers
+/// to the exclusive-lock baseline, and must leave the base database
+/// untouched (no new relations, no version bumps).
+void CheckOverlayMatchesExclusive() {
+  QueryService service;
+  Seed(&service);
+  Database& db = service.db();
+
+  // Snapshot the base: which relations exist and their versions.
+  std::vector<std::pair<PredId, uint64_t>> before;
+  for (PredId pred : db.StoredPredicates()) {
+    before.emplace_back(pred, db.GetRelation(pred)->version());
+  }
+
+  RequestOptions overlay;
+  overlay.bypass_cache = true;  // default path: shared lock + overlay
+  std::vector<std::string> overlay_answers;
+  for (const BatchOp& op : UncachedQueryOps()) {
+    QueryResponse r = service.Query(op.text, overlay);
+    CS_CHECK(r.status.ok()) << r.status;
+    overlay_answers.push_back(FlattenAnswers(r));
+  }
+
+  // The overlay path must not have touched the base.
+  std::vector<PredId> preds_after = db.StoredPredicates();
+  CS_CHECK(preds_after.size() == before.size())
+      << "overlay evaluation created base relations";
+  for (const auto& [pred, version] : before) {
+    CS_CHECK(db.GetRelation(pred)->version() == version)
+        << "overlay evaluation bumped a base relation version";
+  }
+
+  // Exclusive baseline: pre-overlay reference semantics, where derived
+  // relations persist in the base across queries — so each comparison
+  // query runs on its own pristine, identically seeded service.
+  RequestOptions exclusive;
+  exclusive.bypass_cache = true;
+  exclusive.force_exclusive = true;
+  const std::vector<BatchOp> ops = UncachedQueryOps();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    QueryService baseline;
+    Seed(&baseline);
+    QueryResponse r = baseline.Query(ops[i].text, exclusive);
+    CS_CHECK(r.status.ok()) << r.status;
+    CS_CHECK(FlattenAnswers(r) == overlay_answers[i]) << ops[i].text;
+  }
+  std::printf(
+      "differential check: overlay == exclusive on %d queries, "
+      "base untouched\n",
+      kDistinctUncachedQueries);
+}
+
 void ReportBatch(benchmark::State& state, const BatchReport& report,
                  double* qps) {
   CS_CHECK(report.errors == 0) << report.errors << " request errors";
@@ -93,7 +158,8 @@ void ReportBatch(benchmark::State& state, const BatchReport& report,
 }
 
 /// Uncached single-threaded baseline: every query re-parsed, re-planned
-/// and re-evaluated under the exclusive lock.
+/// and re-evaluated (through a query-local overlay, like all uncached
+/// evaluation).
 void UncachedSingleThread(benchmark::State& state) {
   double qps = 0;
   for (auto _ : state) {
@@ -107,6 +173,37 @@ void UncachedSingleThread(benchmark::State& state) {
     options.request.bypass_cache = true;
     BatchReport report = RunBatchWorkload(&service, QueryOps(), options);
     ReportBatch(state, report, &qps);
+  }
+}
+
+/// Uncached multi-client phase: N clients each issuing distinct
+/// cache-bypassing queries. Every evaluation holds only the shared
+/// lock and writes into its own overlay, so the aggregate qps should
+/// scale with clients on a multi-core host (on a single core the
+/// 1/2/4/8 trend just records the locking overhead).
+void UncachedClients(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  double qps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    QueryService service;
+    Seed(&service);
+    ServiceStats s0 = service.stats();
+    state.ResumeTiming();
+    BatchOptions options;
+    options.num_clients = clients;
+    options.ops_per_client = 32;
+    options.request.bypass_cache = true;
+    BatchReport report =
+        RunBatchWorkload(&service, UncachedQueryOps(), options);
+    ReportBatch(state, report, &qps);
+    ServiceStats s1 = service.stats();
+    state.counters["shared_evals"] =
+        static_cast<double>(s1.shared_evals - s0.shared_evals);
+    state.counters["exclusive_evals"] =
+        static_cast<double>(s1.exclusive_evals - s0.exclusive_evals);
+    state.counters["overlay_bytes"] =
+        static_cast<double>(s1.overlay_bytes - s0.overlay_bytes);
   }
 }
 
@@ -155,6 +252,13 @@ void MixedReadUpdate(benchmark::State& state) {
 }
 
 BENCHMARK(UncachedSingleThread)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(UncachedClients)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(3);
 BENCHMARK(CachedClients)
     ->Unit(benchmark::kMillisecond)
     ->Arg(1)
@@ -170,12 +274,14 @@ BENCHMARK(MixedReadUpdate)
 
 int main(int argc, char** argv) {
   std::printf(
-      "Service throughput: QueryService replaying a repeated-query "
-      "transitive-closure workload.\nExpected shape: CachedClients/8 "
-      "sustains >= 5x the qps of UncachedSingleThread (shared-lock "
-      "cache hits); MixedReadUpdate shows the cost of invalidating "
-      "writes.\n\n");
+      "Service throughput: QueryService replaying transitive-closure "
+      "workloads.\nExpected shape: CachedClients/8 sustains >= 5x the "
+      "qps of UncachedSingleThread (shared-lock cache hits); "
+      "UncachedClients/N scales with cores (shared-lock overlay "
+      "evaluation, no cache); MixedReadUpdate shows the cost of "
+      "invalidating writes.\n\n");
   chainsplit::CheckCachedMatchesUncached();
+  chainsplit::CheckOverlayMatchesExclusive();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

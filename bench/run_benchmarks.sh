@@ -63,6 +63,22 @@ for bin in "${benches[@]}"; do
     echo "error: $name failed" >&2
     rm -f "$out"  # no partial/empty JSON from a failed run
     status=1
+    continue
+  fi
+  if [[ $json_name == service ]]; then
+    # Summarize the uncached shared-lock scaling recorded in the JSON:
+    # aggregate qps at 8 clients over 1 client. On a single-core host
+    # the ratio hovers near 1; the JSON still records the full trend.
+    awk '
+      /"name": "UncachedClients\/1\// { want = 1 }
+      /"name": "UncachedClients\/8\// { want = 8 }
+      want && /"qps":/ {
+        gsub(/[^0-9.e+-]/, "", $2); qps[want] = $2; want = 0
+      }
+      END {
+        if (qps[1] > 0 && qps[8] > 0)
+          printf "   uncached scaling: %.0f qps @1 client, %.0f qps @8 clients (%.2fx)\n", qps[1], qps[8], qps[8] / qps[1]
+      }' "$out"
   fi
 done
 exit $status

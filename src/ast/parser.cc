@@ -167,6 +167,15 @@ class Parser {
     return atom;
   }
 
+  StatusOr<Query> ParseOneQuery() {
+    if (!TryTakePunct("?-")) return ErrorHere("expected '?-'");
+    Query query;
+    CS_RETURN_IF_ERROR(ParseGoalList(&query.goals));
+    CS_RETURN_IF_ERROR(ExpectPunct("."));
+    if (!AtEnd()) return ErrorHere("trailing input after query");
+    return query;
+  }
+
  private:
   const Token& Peek() const { return tokens_[pos_]; }
   const Token& PeekAhead(size_t n) const {
@@ -415,6 +424,12 @@ Status ParseProgram(std::string_view text, Program* program) {
   CS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
   Parser parser(std::move(tokens), program);
   return parser.ParseAll();
+}
+
+StatusOr<Query> ParseQueryOnly(std::string_view text, Program* program) {
+  CS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), program);
+  return parser.ParseOneQuery();
 }
 
 StatusOr<TermId> ParseTerm(std::string_view text, Program* program) {

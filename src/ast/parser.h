@@ -32,6 +32,14 @@ namespace chainsplit {
 /// non-ground ones as rules. Errors carry line:column positions.
 Status ParseProgram(std::string_view text, Program* program);
 
+/// Parses exactly one query statement ("?- goals.") and returns it
+/// WITHOUT appending it to `program->queries()`. Interning aside (the
+/// pool and predicate table are internally synchronized), this leaves
+/// `*program` untouched, so the query service can parse queries under
+/// its shared (read) lock — and concurrently with other parses —
+/// without growing the program's query list.
+StatusOr<Query> ParseQueryOnly(std::string_view text, Program* program);
+
 /// Parses a single term, e.g. "f(X, [1,2|T])". For tests and examples.
 StatusOr<TermId> ParseTerm(std::string_view text, Program* program);
 

@@ -10,6 +10,7 @@ std::string PredicateTable::Key(std::string_view name, int arity) {
 
 PredId PredicateTable::Intern(std::string_view name, int arity) {
   std::string key = Key(name, arity);
+  std::lock_guard<std::mutex> lock(intern_mu_);
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
   PredId id = static_cast<PredId>(entries_.size());
@@ -20,6 +21,7 @@ PredId PredicateTable::Intern(std::string_view name, int arity) {
 
 std::optional<PredId> PredicateTable::Find(std::string_view name,
                                            int arity) const {
+  std::lock_guard<std::mutex> lock(intern_mu_);
   auto it = index_.find(Key(name, arity));
   if (it == index_.end()) return std::nullopt;
   return it->second;

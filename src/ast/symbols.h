@@ -2,11 +2,13 @@
 #define CHAINSPLIT_AST_SYMBOLS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
+
+#include "common/chunked_vector.h"
 
 namespace chainsplit {
 
@@ -17,6 +19,11 @@ inline constexpr PredId kNullPred = -1;
 
 /// Interning table for predicate symbols. Predicates are identified by
 /// name *and* arity (`p/2` and `p/3` are distinct predicates).
+///
+/// Thread-safety: Intern and Find are serialized by an internal mutex;
+/// the entry arena is append-only, so name()/arity()/Display() on an
+/// already-obtained PredId are lock-free and safe concurrently with
+/// interning.
 class PredicateTable {
  public:
   PredicateTable() = default;
@@ -45,8 +52,9 @@ class PredicateTable {
 
   static std::string Key(std::string_view name, int arity);
 
-  std::vector<Entry> entries_;
+  ChunkedVector<Entry> entries_;
   std::unordered_map<std::string, PredId> index_;
+  mutable std::mutex intern_mu_;
 };
 
 }  // namespace chainsplit

@@ -1,0 +1,143 @@
+#ifndef CHAINSPLIT_COMMON_CHUNKED_VECTOR_H_
+#define CHAINSPLIT_COMMON_CHUNKED_VECTOR_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace chainsplit {
+
+/// Append-only storage with stable element addresses and wait-free
+/// concurrent reads.
+///
+/// The single-writer / many-reader analogue of std::vector for the
+/// interning pools: `push_back` never relocates existing elements, so a
+/// reader holding an index (a TermId, a name index, ...) can
+/// dereference it without any lock while a writer appends. Growth is a
+/// ladder of geometrically sized chunks published through atomic
+/// pointers:
+///
+///   chunk k covers global indices [B*(2^k - 1), B*(2^(k+1) - 1))
+///   and holds B*2^k elements, with B = 2^kBaseBits.
+///
+/// Locating index i is pure bit math (no loop, no indirection chain):
+/// k = bit_width((i >> kBaseBits) + 1) - 1.
+///
+/// Concurrency contract:
+///  - At most one thread appends at a time (callers serialize writers
+///    with their own mutex — the interning pools already have one).
+///  - Readers may call size() / operator[] / PtrTo concurrently with
+///    the writer. size() is an acquire load paired with the writer's
+///    release store, so every element below the observed size is fully
+///    constructed and visible.
+///  - Readers must only access indices they learned from size() or
+///    from a value published through some other synchronized channel
+///    (e.g. a TermId handed over a mutex or lock acquisition).
+template <typename T>
+class ChunkedVector {
+ public:
+  ChunkedVector() = default;
+  ChunkedVector(const ChunkedVector&) = delete;
+  ChunkedVector& operator=(const ChunkedVector&) = delete;
+
+  ~ChunkedVector() {
+    size_t n = size_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) Slot(i)->~T();
+    for (int k = 0; k < kMaxChunks; ++k) {
+      T* chunk = chunks_[k].load(std::memory_order_acquire);
+      if (chunk != nullptr) {
+        std::allocator<T>().deallocate(chunk, ChunkCapacity(k));
+      }
+    }
+  }
+
+  /// Number of constructed elements. Acquire-synchronized: all
+  /// elements with index < size() are safe to read.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  const T& operator[](size_t i) const { return *Slot(i); }
+  T& operator[](size_t i) { return *Slot(i); }
+
+  /// Stable pointer to element `i`; elements appended by one
+  /// AppendRange call are contiguous from the returned pointer.
+  const T* PtrTo(size_t i) const { return Slot(i); }
+
+  /// Appends one element; returns its index. Writer-side only.
+  size_t push_back(T value) {
+    size_t index = size_.load(std::memory_order_relaxed);
+    EnsureChunk(ChunkOf(index));
+    new (Slot(index)) T(std::move(value));
+    size_.store(index + 1, std::memory_order_release);
+    return index;
+  }
+
+  /// Appends `count` elements as one contiguous run (never straddling
+  /// a chunk boundary) and returns the index of the first. When the
+  /// current chunk cannot hold the run, the remainder of the chunk is
+  /// filled with value-initialized padding elements (their indices are
+  /// simply never handed out). Requires count <= B (the smallest chunk
+  /// size). Writer-side only.
+  size_t AppendRange(const T* data, size_t count) {
+    CS_CHECK(count <= (size_t{1} << kBaseBits))
+        << "AppendRange run larger than the base chunk";
+    size_t index = size_.load(std::memory_order_relaxed);
+    if (count > 0) {
+      int k = ChunkOf(index);
+      size_t room = ChunkStart(k) + ChunkCapacity(k) - index;
+      if (room < count) {
+        // Pad out the current chunk so the run lands contiguously at
+        // the start of the next one.
+        EnsureChunk(k);
+        for (size_t p = 0; p < room; ++p) new (Slot(index + p)) T();
+        index += room;
+      }
+    }
+    EnsureChunk(ChunkOf(index));
+    for (size_t j = 0; j < count; ++j) new (Slot(index + j)) T(data[j]);
+    size_.store(index + count, std::memory_order_release);
+    return index;
+  }
+
+ private:
+  static constexpr int kBaseBits = 10;  // smallest chunk: 1024 elements
+  static constexpr int kMaxChunks = 30;
+
+  static int ChunkOf(size_t i) {
+    return std::bit_width((i >> kBaseBits) + 1) - 1;
+  }
+  static size_t ChunkStart(int k) {
+    return ((size_t{1} << k) - 1) << kBaseBits;
+  }
+  static size_t ChunkCapacity(int k) { return size_t{1} << (kBaseBits + k); }
+
+  T* Slot(size_t i) const {
+    int k = ChunkOf(i);
+    // Relaxed is enough: readers reach here only with an index made
+    // visible by the acquire in size() (or an equivalent external
+    // acquire), which also orders the chunk-pointer store.
+    T* chunk = chunks_[k].load(std::memory_order_relaxed);
+    CS_DCHECK(chunk != nullptr) << "read past published size";
+    return chunk + (i - ChunkStart(k));
+  }
+
+  void EnsureChunk(int k) {
+    CS_CHECK(k < kMaxChunks) << "ChunkedVector exhausted";
+    if (chunks_[k].load(std::memory_order_relaxed) == nullptr) {
+      T* chunk = std::allocator<T>().allocate(ChunkCapacity(k));
+      chunks_[k].store(chunk, std::memory_order_release);
+    }
+  }
+
+  std::array<std::atomic<T*>, kMaxChunks> chunks_{};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_COMMON_CHUNKED_VECTOR_H_

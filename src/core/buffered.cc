@@ -44,7 +44,7 @@ ChainPath WholeBodyPath(const TermPool& pool, const CompiledChain& chain) {
 /// buffered edges) and runs the three phases.
 class BufferedChainEvaluator::Run {
  public:
-  Run(Database* db, const CompiledChain& chain, const PathSplit& split,
+  Run(EvalDb* db, const CompiledChain& chain, const PathSplit& split,
       const BufferedOptions& options, BufferedStats* stats)
       : db_(db),
         pool_(db->pool()),
@@ -386,7 +386,7 @@ class BufferedChainEvaluator::Run {
   }
 
  private:
-  Database* db_;
+  EvalDb* db_;
   TermPool& pool_;
   const CompiledChain& chain_;
   const PathSplit& split_;
@@ -404,7 +404,7 @@ class BufferedChainEvaluator::Run {
   std::deque<std::pair<int, Tuple>> worklist_;
 };
 
-BufferedChainEvaluator::BufferedChainEvaluator(Database* db,
+BufferedChainEvaluator::BufferedChainEvaluator(EvalDb* db,
                                                CompiledChain chain,
                                                BufferedOptions options)
     : db_(db), chain_(std::move(chain)), options_(options) {}

@@ -76,7 +76,7 @@ ChainPath WholeBodyPath(const TermPool& pool, const CompiledChain& chain);
 /// recursions, §4.1): they are solved by the SLD engine.
 class BufferedChainEvaluator {
  public:
-  BufferedChainEvaluator(Database* db, CompiledChain chain,
+  BufferedChainEvaluator(EvalDb* db, CompiledChain chain,
                          BufferedOptions options = BufferedOptions());
 
   /// Evaluates `query` (an atom over the chain's predicate; its ground
@@ -90,7 +90,7 @@ class BufferedChainEvaluator {
  private:
   class Run;
 
-  Database* db_;
+  EvalDb* db_;
   CompiledChain chain_;
   BufferedOptions options_;
   BufferedStats stats_;

@@ -45,7 +45,7 @@ bool QuantitativeFollowWins(double expansion_ratio, double bound_bindings,
   return follow_cost <= split_cost;
 }
 
-PropagationGate MakeCostGate(Database* db, const CostModelOptions& options) {
+PropagationGate MakeCostGate(EvalDb* db, const CostModelOptions& options) {
   return [db, options](const Atom& literal,
                        const std::string& adornment) -> bool {
     // A literal with no bound argument contributes no selective

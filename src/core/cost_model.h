@@ -53,7 +53,7 @@ bool QuantitativeFollowWins(double expansion_ratio, double bound_bindings,
 /// ones, quantitative analysis in between. The returned gate reads
 /// statistics at call time, so it sees data loaded after creation.
 /// `db` must outlive the gate.
-PropagationGate MakeCostGate(Database* db,
+PropagationGate MakeCostGate(EvalDb* db,
                              const CostModelOptions& options = {});
 
 }  // namespace chainsplit

@@ -21,7 +21,7 @@ struct Entry {
 
 }  // namespace
 
-StatusOr<std::vector<Tuple>> CountingEvaluate(Database* db,
+StatusOr<std::vector<Tuple>> CountingEvaluate(EvalDb* db,
                                               const CompiledChain& chain,
                                               const PathSplit& split,
                                               const Atom& query,

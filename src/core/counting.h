@@ -38,7 +38,7 @@ struct CountingStats {
 /// derivation paths are re-expanded, and cyclic data loops (level cap).
 ///
 /// Used as the chain-following baseline in benchmarks E5/E7.
-StatusOr<std::vector<Tuple>> CountingEvaluate(Database* db,
+StatusOr<std::vector<Tuple>> CountingEvaluate(EvalDb* db,
                                               const CompiledChain& chain,
                                               const PathSplit& split,
                                               const Atom& query,

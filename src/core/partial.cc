@@ -9,7 +9,7 @@
 namespace chainsplit {
 
 StatusOr<std::vector<Tuple>> PartialEvaluate(
-    Database* db, const CompiledChain& chain, const PathSplit& split,
+    EvalDb* db, const CompiledChain& chain, const PathSplit& split,
     const Atom& query, const AccumulatorConstraint& constraint,
     const BufferedOptions& options, BufferedStats* stats) {
   Program& program = db->program();
@@ -89,7 +89,7 @@ StatusOr<std::vector<Tuple>> PartialEvaluate(
 }
 
 std::optional<AccumulatorConstraint> DeduceAccumulatorConstraint(
-    Database* db, const CompiledChain& chain, const PathSplit& split,
+    EvalDb* db, const CompiledChain& chain, const PathSplit& split,
     int head_position, int64_t limit, bool strict) {
   const Program& program = db->program();
   const TermPool& pool = program.pool();

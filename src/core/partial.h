@@ -42,7 +42,7 @@ struct AccumulatorConstraint {
 /// caller post-filters, keeping pruning and exactness separable for the
 /// E4 experiment.
 StatusOr<std::vector<Tuple>> PartialEvaluate(
-    Database* db, const CompiledChain& chain, const PathSplit& split,
+    EvalDb* db, const CompiledChain& chain, const PathSplit& split,
     const Atom& query, const AccumulatorConstraint& constraint,
     const BufferedOptions& options, BufferedStats* stats);
 
@@ -54,7 +54,7 @@ StatusOr<std::vector<Tuple>> PartialEvaluate(
 /// produces it. Returns nullopt when the pattern does not apply (the
 /// planner then falls back to post-filtering).
 std::optional<AccumulatorConstraint> DeduceAccumulatorConstraint(
-    Database* db, const CompiledChain& chain, const PathSplit& split,
+    EvalDb* db, const CompiledChain& chain, const PathSplit& split,
     int head_position, int64_t limit, bool strict);
 
 }  // namespace chainsplit

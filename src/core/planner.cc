@@ -70,7 +70,7 @@ std::vector<UpperBound> FindUpperBounds(const Program& program,
 /// error return — the service reports them for timed-out queries.
 class PlanRun {
  public:
-  PlanRun(Database* db, const Query& query, const PlannerOptions& options,
+  PlanRun(EvalDb* db, const Query& query, const PlannerOptions& options,
           QueryResult* result)
       : db_(db),
         program_(db->program()),
@@ -251,7 +251,7 @@ class PlanRun {
     SemiNaiveOptions seminaive = options_.seminaive;
     if (seminaive.cancel == nullptr) seminaive.cancel = options_.cancel;
     if (options_.use_stats_ordering && seminaive.estimator == nullptr) {
-      Database* db = db_;
+      EvalDb* db = db_;
       seminaive.estimator = [db](PredId pred, const std::string& ad) {
         return EstimateJoinExpansion(db->Stats(pred), ad);
       };
@@ -396,7 +396,7 @@ class PlanRun {
     return Status::Ok();
   }
 
-  Database* db_;
+  EvalDb* db_;
   Program& program_;
   TermPool& pool_;
   const Query& query_;
@@ -410,21 +410,21 @@ class PlanRun {
 
 }  // namespace
 
-StatusOr<QueryResult> EvaluateQuery(Database* db, const Query& query,
+StatusOr<QueryResult> EvaluateQuery(EvalDb* db, const Query& query,
                                     const PlannerOptions& options) {
   QueryResult result;
   CS_RETURN_IF_ERROR(EvaluateQueryInto(db, query, options, &result));
   return std::move(result);
 }
 
-Status EvaluateQueryInto(Database* db, const Query& query,
+Status EvaluateQueryInto(EvalDb* db, const Query& query,
                          const PlannerOptions& options, QueryResult* result) {
   *result = QueryResult();
   PlanRun run(db, query, options, result);
   return run.Execute();
 }
 
-Status MaterializeAll(Database* db, const SemiNaiveOptions& options) {
+Status MaterializeAll(EvalDb* db, const SemiNaiveOptions& options) {
   Program& program = db->program();
   std::vector<Rule> rectified = RectifyRules(&program);
   SemiNaiveStats stats;

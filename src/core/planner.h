@@ -80,7 +80,7 @@ struct QueryResult {
 /// the remaining query goals (constraints) to the answers.
 ///
 /// This is the library's main entry point; see examples/.
-StatusOr<QueryResult> EvaluateQuery(Database* db, const Query& query,
+StatusOr<QueryResult> EvaluateQuery(EvalDb* db, const Query& query,
                                     const PlannerOptions& options = {});
 
 /// As EvaluateQuery, but writes into `*result` and reports failures
@@ -88,7 +88,7 @@ StatusOr<QueryResult> EvaluateQuery(Database* db, const Query& query,
 /// and kCancelled) `result->plan` and the evaluator statistics hold
 /// the partial work done before the failure — the query service
 /// surfaces these as partial stats of a timed-out query.
-Status EvaluateQueryInto(Database* db, const Query& query,
+Status EvaluateQueryInto(EvalDb* db, const Query& query,
                          const PlannerOptions& options, QueryResult* result);
 
 /// Convenience: parse `source` (rules + facts + one query), load facts,
@@ -102,7 +102,7 @@ StatusOr<QueryResult> RunProgram(Database* db, std::string_view source,
 /// recursion denotes an infinite relation and is rejected with
 /// kNotFinitelyEvaluable — use query-directed evaluation
 /// (EvaluateQuery) for those, which is the paper's whole point.
-Status MaterializeAll(Database* db, const SemiNaiveOptions& options = {});
+Status MaterializeAll(EvalDb* db, const SemiNaiveOptions& options = {});
 
 }  // namespace chainsplit
 

@@ -5,7 +5,7 @@
 
 namespace chainsplit {
 
-StatusOr<PathSplit> DecideSplit(Database* db, const CompiledChain& chain,
+StatusOr<PathSplit> DecideSplit(EvalDb* db, const CompiledChain& chain,
                                 const ChainPath& path,
                                 const std::vector<TermId>& bound_vars,
                                 const SplitDecisionOptions& options) {

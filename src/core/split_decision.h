@@ -30,7 +30,7 @@ struct SplitDecisionOptions {
 ///
 /// `bound_vars` are the head variables bound by the query adornment on
 /// this path.
-StatusOr<PathSplit> DecideSplit(Database* db, const CompiledChain& chain,
+StatusOr<PathSplit> DecideSplit(EvalDb* db, const CompiledChain& chain,
                                 const ChainPath& path,
                                 const std::vector<TermId>& bound_vars,
                                 const SplitDecisionOptions& options = {});

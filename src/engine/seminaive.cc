@@ -33,7 +33,7 @@ struct TelemetrySum {
 };
 
 /// Sums telemetry over every stored relation of `db`.
-TelemetrySum DatabaseTelemetry(const Database& db) {
+TelemetrySum DatabaseTelemetry(const EvalDb& db) {
   TelemetrySum sum;
   for (PredId pred : db.StoredPredicates()) {
     const Relation* rel = db.GetRelation(pred);
@@ -44,7 +44,7 @@ TelemetrySum DatabaseTelemetry(const Database& db) {
 
 }  // namespace
 
-Status SemiNaiveEvaluate(Database* db, const std::vector<Rule>& rules,
+Status SemiNaiveEvaluate(EvalDb* db, const std::vector<Rule>& rules,
                          const SemiNaiveOptions& options,
                          SemiNaiveStats* stats) {
   *stats = SemiNaiveStats{};

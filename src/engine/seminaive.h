@@ -76,7 +76,7 @@ struct SemiNaiveStats {
 /// checked for finite evaluability at compile time, so a program whose
 /// chains need splitting is rejected with kNotFinitelyEvaluable rather
 /// than looping.
-Status SemiNaiveEvaluate(Database* db, const std::vector<Rule>& rules,
+Status SemiNaiveEvaluate(EvalDb* db, const std::vector<Rule>& rules,
                          const SemiNaiveOptions& options,
                          SemiNaiveStats* stats);
 

@@ -16,7 +16,7 @@ namespace chainsplit {
 /// backtracking.
 class TopDownEvaluator::Impl {
  public:
-  Impl(Database* db, const TopDownOptions& options, TopDownStats* stats,
+  Impl(EvalDb* db, const TopDownOptions& options, TopDownStats* stats,
        const std::function<void(const Substitution&)>& on_solution)
       : db_(db),
         pool_(db->pool()),
@@ -154,7 +154,7 @@ class TopDownEvaluator::Impl {
     return Status::Ok();
   }
 
-  Database* db_;
+  EvalDb* db_;
   TermPool& pool_;
   const PredicateTable& preds_;
   const TopDownOptions& options_;
@@ -164,7 +164,7 @@ class TopDownEvaluator::Impl {
   Substitution subst_;
 };
 
-TopDownEvaluator::TopDownEvaluator(Database* db, TopDownOptions options)
+TopDownEvaluator::TopDownEvaluator(EvalDb* db, TopDownOptions options)
     : db_(db), options_(options) {}
 
 namespace {

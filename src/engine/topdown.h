@@ -36,7 +36,7 @@ struct TopDownStats {
 };
 
 /// Plain SLD resolution (top-down, leftmost selection, depth-first)
-/// over a Database: rules from the program, EDB facts from relations,
+/// over an EvalDb: rules from the program, EDB facts from relations,
 /// builtins evaluated natively.
 ///
 /// This is the *reference evaluator* for functional recursions (§4 of
@@ -47,7 +47,7 @@ struct TopDownStats {
 /// kResourceExhausted errors.
 class TopDownEvaluator {
  public:
-  explicit TopDownEvaluator(Database* db,
+  explicit TopDownEvaluator(EvalDb* db,
                             TopDownOptions options = TopDownOptions());
 
   /// Proves `goals` left-to-right; invokes `on_solution` for every
@@ -66,7 +66,7 @@ class TopDownEvaluator {
  private:
   class Impl;
 
-  Database* db_;
+  EvalDb* db_;
   TopDownOptions options_;
   TopDownStats stats_;
 };

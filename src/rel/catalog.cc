@@ -49,10 +49,11 @@ bool Database::InsertFact(PredId pred, const Tuple& tuple) {
   return GetOrCreateRelation(pred)->Insert(tuple);
 }
 
-const RelationStats& Database::Stats(PredId pred) {
-  CachedStats& cached = stats_[pred];
+RelationStats Database::Stats(PredId pred) {
   const Relation* relation = GetRelation(pred);
   int64_t size = relation == nullptr ? 0 : relation->size();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  CachedStats& cached = stats_[pred];
   if (cached.at_size != size) {
     if (relation == nullptr) {
       cached.stats = RelationStats{};
@@ -70,6 +71,60 @@ std::vector<PredId> Database::StoredPredicates() const {
   preds.reserve(relations_.size());
   for (const auto& [pred, relation] : relations_) preds.push_back(pred);
   return preds;
+}
+
+Relation* DatabaseOverlay::GetOrCreateRelation(PredId pred) {
+  auto it = local_.find(pred);
+  if (it != local_.end()) return &it->second;
+  auto [inserted, ok] =
+      local_.emplace(pred, Relation(program().preds().arity(pred)));
+  // Copy-on-write: a predicate with base facts gets those rows copied
+  // into the overlay so derivations see them; the base stays frozen.
+  const Relation* base_rel =
+      static_cast<const Database*>(base_)->GetRelation(pred);
+  if (base_rel != nullptr && !base_rel->empty()) {
+    inserted->second.UnionWith(*base_rel);
+  }
+  return &inserted->second;
+}
+
+const Relation* DatabaseOverlay::GetRelation(PredId pred) const {
+  auto it = local_.find(pred);
+  if (it != local_.end()) return &it->second;
+  return static_cast<const Database*>(base_)->GetRelation(pred);
+}
+
+bool DatabaseOverlay::InsertFact(PredId pred, const Tuple& tuple) {
+  return GetOrCreateRelation(pred)->Insert(tuple);
+}
+
+RelationStats DatabaseOverlay::Stats(PredId pred) {
+  auto it = local_.find(pred);
+  if (it == local_.end()) return base_->Stats(pred);
+  const Relation& relation = it->second;
+  CachedStats& cached = stats_[pred];
+  if (cached.at_size != relation.size()) {
+    cached.stats = ComputeStats(relation);
+    cached.at_size = relation.size();
+  }
+  return cached.stats;
+}
+
+std::vector<PredId> DatabaseOverlay::StoredPredicates() const {
+  std::vector<PredId> preds = base_->StoredPredicates();
+  for (const auto& [pred, relation] : local_) {
+    if (base_->GetRelation(pred) == nullptr) preds.push_back(pred);
+  }
+  return preds;
+}
+
+DatabaseOverlay::Telemetry DatabaseOverlay::telemetry() const {
+  Telemetry t;
+  t.relations = static_cast<int64_t>(local_.size());
+  for (const auto& [pred, relation] : local_) {
+    t.arena_bytes += relation.telemetry().arena_bytes;
+  }
+  return t;
 }
 
 }  // namespace chainsplit

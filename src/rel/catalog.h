@@ -2,6 +2,7 @@
 #define CHAINSPLIT_REL_CATALOG_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,47 @@ struct RelationStats {
 /// Computes exact statistics for `relation` by one scan.
 RelationStats ComputeStats(const Relation& relation);
 
+/// What an evaluator needs from a deductive database: the term
+/// universe, the program, and relation storage. Two implementations:
+///
+///  - Database: the real thing — owns the pool, the program, and the
+///    EDB relations.
+///  - DatabaseOverlay: a query-local copy-on-write view over a frozen
+///    Database. Reads fall through to the base; every write lands in
+///    an overlay-local relation, so evaluating through an overlay
+///    never mutates the base. This is what lets the query service run
+///    whole uncached evaluations under the *shared* side of its
+///    database lock: magic seeds, adorned/magic relations, deltas and
+///    answer relations are all per-query scratch.
+///
+/// Evaluators (planner, seminaive, top-down, buffered chain, partial,
+/// counting) take an EvalDb* and work identically against either.
+class EvalDb {
+ public:
+  virtual ~EvalDb() = default;
+
+  virtual TermPool& pool() = 0;
+  virtual const TermPool& pool() const = 0;
+  virtual Program& program() = 0;
+  virtual const Program& program() const = 0;
+
+  /// Relation for `pred`, created (empty, with the predicate's arity)
+  /// on first access.
+  virtual Relation* GetOrCreateRelation(PredId pred) = 0;
+
+  /// Relation for `pred`, or nullptr when no facts were ever stored.
+  virtual const Relation* GetRelation(PredId pred) const = 0;
+
+  /// Inserts one fact tuple for `pred`. Returns true when new.
+  virtual bool InsertFact(PredId pred, const Tuple& tuple) = 0;
+
+  /// Cached statistics for `pred` (recomputed when the relation grew).
+  virtual RelationStats Stats(PredId pred) = 0;
+
+  /// Predicates that currently have a stored relation.
+  virtual std::vector<PredId> StoredPredicates() const = 0;
+};
+
 /// The deductive database of the paper's model: an EDB (relations), an
 /// IDB (the Program's rules) and a term universe, sharing one TermPool
 /// so relation values and rule constants are the same interned terms.
@@ -39,36 +81,38 @@ RelationStats ComputeStats(const Relation& relation);
 ///   Database db;
 ///   CS_RETURN_IF_ERROR(ParseProgram(source, &db.program()));
 ///   CS_RETURN_IF_ERROR(db.LoadProgramFacts());
-class Database {
+///
+/// Thread-safety: structural mutation (creating relations, inserting
+/// facts, loading) requires exclusive access. With no mutator running,
+/// the read surface — GetRelation, relation probes (which may lazily
+/// build indexes), Stats, interning via pool()/program() — is safe for
+/// concurrent readers; this is exactly the regime the query service's
+/// shared lock establishes.
+class Database : public EvalDb {
  public:
   Database() : program_(&pool_) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  TermPool& pool() { return pool_; }
-  const TermPool& pool() const { return pool_; }
-  Program& program() { return program_; }
-  const Program& program() const { return program_; }
+  TermPool& pool() override { return pool_; }
+  const TermPool& pool() const override { return pool_; }
+  Program& program() override { return program_; }
+  const Program& program() const override { return program_; }
 
-  /// Relation for `pred`, created (empty, with the predicate's arity)
-  /// on first access.
-  Relation* GetOrCreateRelation(PredId pred);
-
-  /// Relation for `pred`, or nullptr when no facts were ever stored.
-  const Relation* GetRelation(PredId pred) const;
+  Relation* GetOrCreateRelation(PredId pred) override;
+  const Relation* GetRelation(PredId pred) const override;
 
   /// Moves every fact of program() into its EDB relation. Non-ground
   /// facts are impossible (the parser classifies them as rules).
   Status LoadProgramFacts();
 
-  /// Inserts one fact tuple for `pred`. Returns true when new.
-  bool InsertFact(PredId pred, const Tuple& tuple);
+  bool InsertFact(PredId pred, const Tuple& tuple) override;
 
   /// Cached statistics for `pred` (recomputed when the relation grew).
-  const RelationStats& Stats(PredId pred);
+  /// Safe for concurrent readers: the cache is mutex-guarded.
+  RelationStats Stats(PredId pred) override;
 
-  /// Predicates that currently have an EDB relation.
-  std::vector<PredId> StoredPredicates() const;
+  std::vector<PredId> StoredPredicates() const override;
 
  private:
   struct CachedStats {
@@ -79,6 +123,56 @@ class Database {
   TermPool pool_;
   Program program_;
   std::unordered_map<PredId, Relation> relations_;
+  std::unordered_map<PredId, CachedStats> stats_;
+  mutable std::mutex stats_mu_;  // guards stats_ (a cache, not state)
+};
+
+/// Query-local copy-on-write view over a frozen base Database (see
+/// EvalDb). Lookups resolve to overlay-local relations first — the
+/// magic/adorned/delta/answer relations a query materializes — and
+/// fall through to the base for everything else. The first write to a
+/// predicate that has base facts copies the base relation into the
+/// overlay (copy-on-write); predicates the query never writes are read
+/// directly from the base with zero copying.
+///
+/// The overlay itself is single-threaded (one per query); it only
+/// requires that nobody mutates the base while it is alive.
+class DatabaseOverlay final : public EvalDb {
+ public:
+  explicit DatabaseOverlay(Database* base) : base_(base) {}
+  DatabaseOverlay(const DatabaseOverlay&) = delete;
+  DatabaseOverlay& operator=(const DatabaseOverlay&) = delete;
+
+  TermPool& pool() override { return base_->pool(); }
+  const TermPool& pool() const override {
+    return static_cast<const Database*>(base_)->pool();
+  }
+  Program& program() override { return base_->program(); }
+  const Program& program() const override {
+    return static_cast<const Database*>(base_)->program();
+  }
+
+  Relation* GetOrCreateRelation(PredId pred) override;
+  const Relation* GetRelation(PredId pred) const override;
+  bool InsertFact(PredId pred, const Tuple& tuple) override;
+  RelationStats Stats(PredId pred) override;
+  std::vector<PredId> StoredPredicates() const override;
+
+  /// Scratch footprint of this overlay, for service telemetry.
+  struct Telemetry {
+    int64_t relations = 0;    // overlay-local relations materialized
+    int64_t arena_bytes = 0;  // their arena capacity in bytes
+  };
+  Telemetry telemetry() const;
+
+ private:
+  struct CachedStats {
+    int64_t at_size = -1;
+    RelationStats stats;
+  };
+
+  Database* base_;
+  std::unordered_map<PredId, Relation> local_;
   std::unordered_map<PredId, CachedStats> stats_;
 };
 

@@ -23,14 +23,77 @@ size_t SlotsFor(size_t rows) {
 
 }  // namespace
 
-// Out-of-line because pviews_ holds unique_ptrs to a type that is
-// incomplete at the member's declaration point.
-Relation::~Relation() = default;
-Relation::Relation(Relation&&) noexcept = default;
-Relation& Relation::operator=(Relation&&) noexcept = default;
+void Relation::DeleteIndexes() {
+  const int n = num_indexes_.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    delete index_slots_[i].load(std::memory_order_relaxed);
+    index_slots_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  num_indexes_.store(0, std::memory_order_release);
+}
+
+// Out-of-line: pviews_ holds unique_ptrs to a type that is incomplete
+// at the member's declaration point, and the atomic members rule out
+// the defaulted special members. Moves happen only in single-threaded
+// contexts (no concurrent reader may hold a reference across a move).
+Relation::~Relation() { DeleteIndexes(); }
+
+Relation::Relation(Relation&& other) noexcept
+    : arity_(other.arity_),
+      num_rows_(other.num_rows_),
+      version_(other.version_),
+      arena_(std::move(other.arena_)),
+      slots_(std::move(other.slots_)),
+      pviews_(std::move(other.pviews_)),
+      insert_attempts_(other.insert_attempts_),
+      compactions_(other.compactions_) {
+  const int n = other.num_indexes_.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    index_slots_[i].store(other.index_slots_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    other.index_slots_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  num_indexes_.store(n, std::memory_order_relaxed);
+  other.num_indexes_.store(0, std::memory_order_relaxed);
+  probes_.store(other.probes_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  hash_collisions_.store(
+      other.hash_collisions_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.num_rows_ = 0;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  DeleteIndexes();
+  arity_ = other.arity_;
+  num_rows_ = other.num_rows_;
+  version_ = other.version_;
+  arena_ = std::move(other.arena_);
+  slots_ = std::move(other.slots_);
+  pviews_ = std::move(other.pviews_);
+  insert_attempts_ = other.insert_attempts_;
+  compactions_ = other.compactions_;
+  const int n = other.num_indexes_.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    index_slots_[i].store(other.index_slots_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    other.index_slots_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  num_indexes_.store(n, std::memory_order_relaxed);
+  other.num_indexes_.store(0, std::memory_order_relaxed);
+  probes_.store(other.probes_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  hash_collisions_.store(
+      other.hash_collisions_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.num_rows_ = 0;
+  return *this;
+}
 
 PartitionedView* Relation::FindPartitionedView(
     const std::vector<int>& columns, int partitions) const {
+  std::lock_guard<std::mutex> lock(pview_mu_);
   for (const std::unique_ptr<PartitionedView>& view : pviews_) {
     if (view->columns() == columns && view->num_partitions() == partitions) {
       return view.get();
@@ -41,9 +104,19 @@ PartitionedView* Relation::FindPartitionedView(
 
 PartitionedView* Relation::CachePartitionedView(
     std::unique_ptr<PartitionedView> view) const {
+  std::lock_guard<std::mutex> lock(pview_mu_);
   for (std::unique_ptr<PartitionedView>& slot : pviews_) {
     if (slot->columns() == view->columns() &&
         slot->num_partitions() == view->num_partitions()) {
+      // Lost a build race: another thread already attached a view for
+      // this key. Keep the incumbent unless it is strictly older —
+      // concurrent readers may still be probing a same-version entry,
+      // and destroying it under them would be a use-after-free. A
+      // strictly older entry can have no live probes: its readers'
+      // lock scope ended before the version moved.
+      if (slot->built_version() >= view->built_version()) {
+        return slot.get();
+      }
       slot = std::move(view);
       return slot.get();
     }
@@ -61,14 +134,22 @@ void Relation::Reserve(int64_t n) {
 
 int64_t Relation::FindRow(const TermId* row) const {
   if (slots_.empty()) return -1;
+  int64_t collisions = 0;
+  int64_t found = -1;
   const size_t mask = slots_.size() - 1;
   size_t idx = RowHash(row) & mask;
   while (slots_[idx] != kEmpty) {
-    if (RowEquals(slots_[idx], row)) return static_cast<int64_t>(slots_[idx]);
-    ++hash_collisions_;
+    if (RowEquals(slots_[idx], row)) {
+      found = static_cast<int64_t>(slots_[idx]);
+      break;
+    }
+    ++collisions;
     idx = (idx + 1) & mask;
   }
-  return -1;
+  if (collisions != 0) {
+    hash_collisions_.fetch_add(collisions, std::memory_order_relaxed);
+  }
+  return found;
 }
 
 void Relation::GrowDedup(size_t min_slots) {
@@ -85,13 +166,22 @@ void Relation::GrowDedup(size_t min_slots) {
 bool Relation::InsertRow(const TermId* row) {
   ++insert_attempts_;
   if (slots_.empty()) GrowDedup(kMinSlots);
+  int64_t collisions = 0;
   const size_t mask = slots_.size() - 1;
   size_t idx = RowHash(row) & mask;
+  bool duplicate = false;
   while (slots_[idx] != kEmpty) {
-    if (RowEquals(slots_[idx], row)) return false;
-    ++hash_collisions_;
+    if (RowEquals(slots_[idx], row)) {
+      duplicate = true;
+      break;
+    }
+    ++collisions;
     idx = (idx + 1) & mask;
   }
+  if (collisions != 0) {
+    hash_collisions_.fetch_add(collisions, std::memory_order_relaxed);
+  }
+  if (duplicate) return false;
   CS_CHECK(num_rows_ < static_cast<int64_t>(kEmpty))
       << "relation exceeds 2^32-1 rows";
   // `row` may alias this relation's own arena (self-insertion of a
@@ -110,7 +200,15 @@ bool Relation::InsertRow(const TermId* row) {
   slots_[idx] = row_id;
   ++num_rows_;
   ++version_;
-  for (Index& index : indexes_) IndexInsert(&index, row_id);
+  const int n = num_indexes_.load(std::memory_order_relaxed);
+  int64_t index_collisions = 0;
+  for (int i = 0; i < n; ++i) {
+    IndexInsert(index_slots_[i].load(std::memory_order_relaxed), row_id,
+                &index_collisions);
+  }
+  if (index_collisions != 0) {
+    hash_collisions_.fetch_add(index_collisions, std::memory_order_relaxed);
+  }
   if (static_cast<size_t>(num_rows_) * kLoadDen >=
       slots_.size() * kLoadNum) {
     GrowDedup(slots_.size() * 2);
@@ -145,9 +243,11 @@ void Relation::GrowIndexSlots(Index* index) const {
   }
 }
 
-void Relation::IndexInsert(Index* index, uint32_t row_id) const {
+void Relation::IndexInsert(Index* index, uint32_t row_id,
+                           int64_t* collisions) const {
   if (index->slots.empty()) GrowIndexSlots(index);
-  CS_CHECK(postings_.size() < Postings::kNull) << "posting pool overflow";
+  std::vector<PostingBlock>& pool = index->pool;
+  CS_CHECK(pool.size() < Postings::kNull) << "posting pool overflow";
   const size_t mask = index->slots.size() - 1;
   const TermId* row = RowData(row_id);
   size_t idx = RowKeyHash(row_id, index->columns) & mask;
@@ -164,23 +264,23 @@ void Relation::IndexInsert(Index* index, uint32_t row_id) const {
     if (same) {
       // Existing key: append into the tail block, unrolling into a new
       // block when it is full.
-      PostingBlock& tail = postings_[bucket.tail];
+      PostingBlock& tail = pool[bucket.tail];
       if (tail.count < PostingBlock::kCapacity) {
         tail.rows[tail.count++] = row_id;
       } else {
-        const uint32_t node = static_cast<uint32_t>(postings_.size());
-        postings_.push_back(PostingBlock{{row_id}, 1, Postings::kNull});
-        postings_[bucket.tail].next = node;
+        const uint32_t node = static_cast<uint32_t>(pool.size());
+        pool.push_back(PostingBlock{{row_id}, 1, Postings::kNull});
+        pool[bucket.tail].next = node;
         bucket.tail = node;
       }
       ++bucket.count;
       return;
     }
-    ++hash_collisions_;
+    ++*collisions;
     idx = (idx + 1) & mask;
   }
-  const uint32_t node = static_cast<uint32_t>(postings_.size());
-  postings_.push_back(PostingBlock{{row_id}, 1, Postings::kNull});
+  const uint32_t node = static_cast<uint32_t>(pool.size());
+  pool.push_back(PostingBlock{{row_id}, 1, Postings::kNull});
   index->slots[idx] = static_cast<uint32_t>(index->buckets.size());
   index->buckets.push_back(Index::Bucket{node, node, 1, row_id});
   if (index->buckets.size() * kLoadDen >= index->slots.size() * kLoadNum) {
@@ -190,22 +290,38 @@ void Relation::IndexInsert(Index* index, uint32_t row_id) const {
 
 Relation::Index& Relation::GetOrBuildIndex(
     const std::vector<int>& columns) const {
-  for (Index& index : indexes_) {
-    if (index.columns == columns) return index;
-  }
-  indexes_.push_back(Index{columns, {}, {}});
-  Index& index = indexes_.back();
-  index.buckets.reserve(16);
+  // Fast path: already published (acquire on the count pairs with the
+  // release in the builder, so the Index contents are visible).
+  if (Index* found = FindIndex(columns)) return *found;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  // Re-check: another reader may have built it while we waited.
+  if (Index* found = FindIndex(columns)) return *found;
+  const int n = num_indexes_.load(std::memory_order_relaxed);
+  CS_CHECK(n < kMaxIndexes) << "more than " << kMaxIndexes
+                            << " column-subset indexes on one relation";
+  auto built = std::make_unique<Index>();
+  built->columns = columns;
+  built->buckets.reserve(16);
+  int64_t collisions = 0;
   for (int64_t i = 0; i < num_rows_; ++i) {
-    IndexInsert(&index, static_cast<uint32_t>(i));
+    IndexInsert(built.get(), static_cast<uint32_t>(i), &collisions);
   }
-  return index;
+  if (collisions != 0) {
+    hash_collisions_.fetch_add(collisions, std::memory_order_relaxed);
+  }
+  // Publish: slot pointer first, then the count with release so any
+  // reader that observes the new count sees a complete Index.
+  Index* index = built.release();
+  index_slots_[n].store(index, std::memory_order_relaxed);
+  num_indexes_.store(n + 1, std::memory_order_release);
+  return *index;
 }
 
-const Relation::Index* Relation::FindIndex(
-    const std::vector<int>& columns) const {
-  for (const Index& index : indexes_) {
-    if (index.columns == columns) return &index;
+Relation::Index* Relation::FindIndex(const std::vector<int>& columns) const {
+  const int n = num_indexes_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    Index* index = index_slots_[i].load(std::memory_order_relaxed);
+    if (index->columns == columns) return index;
   }
   return nullptr;
 }
@@ -215,11 +331,11 @@ Relation::Postings Relation::Probe(const std::vector<int>& columns,
   CS_DCHECK(!columns.empty()) << "Probe requires at least one column";
   CS_DCHECK(std::is_sorted(columns.begin(), columns.end()))
       << "Probe columns must be sorted";
-  ++probes_;
+  probes_.fetch_add(1, std::memory_order_relaxed);
   const Index& index = GetOrBuildIndex(columns);
   uint32_t bucket = FindBucket(index, key.data());
   if (bucket == kEmpty) return Postings();
-  return Postings(&postings_, index.buckets[bucket].head,
+  return Postings(&index.pool, index.buckets[bucket].head,
                   index.buckets[bucket].count);
 }
 
@@ -238,30 +354,32 @@ void Relation::Clear() {
   ++version_;
   arena_.clear();
   slots_.clear();
-  indexes_.clear();
-  postings_.clear();
+  DeleteIndexes();
 }
 
 Relation::CompactionStats Relation::CompactPostings() {
   CompactionStats stats;
-  stats.blocks_before = static_cast<int64_t>(postings_.size());
   ++compactions_;
-  if (postings_.empty()) return stats;
 
-  // Rewrite chains bucket by bucket (over all indexes, which share the
-  // pool) into a fresh pool: each chain's blocks become adjacent and
-  // fully packed, so a Probe scan walks the pool sequentially. Every
-  // bucket owns at least one block (buckets are created on first
-  // insert), so head/tail always land on this chain's fresh blocks.
-  std::vector<PostingBlock> packed;
-  packed.reserve(postings_.size());
-  for (Index& index : indexes_) {
+  // Rewrite each index's chains bucket by bucket into a fresh pool:
+  // each chain's blocks become adjacent and fully packed, so a Probe
+  // scan walks the pool sequentially. Every bucket owns at least one
+  // block (buckets are created on first insert), so head/tail always
+  // land on this chain's fresh blocks. Requires exclusive access, like
+  // Insert: concurrent readers may be walking the old pools.
+  const int n = num_indexes_.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    Index& index = *index_slots_[i].load(std::memory_order_relaxed);
+    stats.blocks_before += static_cast<int64_t>(index.pool.size());
+    if (index.pool.empty()) continue;
+    std::vector<PostingBlock> packed;
+    packed.reserve(index.pool.size());
     for (Index::Bucket& bucket : index.buckets) {
       ++stats.chains;
       const uint32_t new_head = static_cast<uint32_t>(packed.size());
       for (uint32_t at = bucket.head; at != Postings::kNull;
-           at = postings_[at].next) {
-        const PostingBlock& block = postings_[at];
+           at = index.pool[at].next) {
+        const PostingBlock& block = index.pool[at];
         if (block.next != Postings::kNull && block.next != at + 1) {
           ++stats.moved_blocks;  // a pool-order pointer chase eliminated
         }
@@ -280,9 +398,9 @@ Relation::CompactionStats Relation::CompactPostings() {
       bucket.head = new_head;
       bucket.tail = static_cast<uint32_t>(packed.size()) - 1;
     }
+    index.pool = std::move(packed);
+    stats.blocks_after += static_cast<int64_t>(index.pool.size());
   }
-  postings_ = std::move(packed);
-  stats.blocks_after = static_cast<int64_t>(postings_.size());
   return stats;
 }
 

@@ -2,9 +2,12 @@
 #define CHAINSPLIT_REL_RELATION_H_
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <iterator>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/hash.h"
@@ -30,8 +33,9 @@ struct TupleHash {
 /// contiguous arena of TermIds with stride == arity; deduplication is
 /// an open-addressing table of row ids hashed directly from arena
 /// memory, and every index is a flat open-addressing table whose
-/// per-key posting lists are chains threaded through one shared pool.
-/// No per-tuple heap allocation happens on Insert/Contains/Probe.
+/// per-key posting lists are chains threaded through that index's own
+/// posting pool. No per-tuple heap allocation happens on
+/// Insert/Contains/Probe.
 ///
 /// This is the storage unit of both EDB relations and the intermediate
 /// relations (deltas, magic sets, buffers) of the evaluators. Insertion
@@ -43,6 +47,17 @@ struct TupleHash {
 /// the relation is only read, and across inserts *into other
 /// relations*; inserting into this relation or moving it may invalidate
 /// them.
+///
+/// Thread-safety: the const read surface (Contains, row, Probe,
+/// ProbeEach, EnsureIndex, telemetry) is safe for any number of
+/// concurrent readers as long as no thread mutates the relation
+/// (Insert/Clear/UnionWith/CompactPostings and move require exclusive
+/// access). Lazy index construction is publication-safe: each index is
+/// built fully under an internal mutex, then published through an
+/// atomic slot, so concurrent readers can trigger index builds —
+/// including builds on different column subsets — without a data race.
+/// The probe/collision counters are relaxed atomics for the same
+/// reason.
 class Relation {
  public:
   /// A borrowed, non-owning view of one stored row. Implicitly converts
@@ -75,7 +90,7 @@ class Relation {
   };
 
   /// The row ids matching one Probe key: a view over an index chain in
-  /// the relation's shared posting pool. Iteration yields int64_t row
+  /// the owning index's posting pool. Iteration yields int64_t row
   /// ids in insertion order.
   ///
   /// Chains are unrolled: each pool node is a 32-byte block of up to
@@ -232,15 +247,12 @@ class Relation {
   template <typename Fn>
   void ProbeEach(const std::vector<int>& columns, const TermId* key,
                  Fn&& fn) const {
-    ++probes_;
+    probes_.fetch_add(1, std::memory_order_relaxed);
     const Index& index = GetOrBuildIndex(columns);
     uint32_t bucket = FindBucket(index, key);
     if (bucket == kEmpty) return;
     for (uint32_t at = index.buckets[bucket].head; at != Postings::kNull;) {
-      // By value: `fn` may probe this relation on other columns, and
-      // building that index grows the pool (existing blocks' contents
-      // are immutable, so the copy stays accurate).
-      const PostingBlock block = postings_[at];
+      const PostingBlock block = index.pool[at];  // by value: cheap + safe
       for (uint32_t s = 0; s < block.count; ++s) {
         fn(static_cast<int64_t>(block.rows[s]));
       }
@@ -253,15 +265,17 @@ class Relation {
     ProbeEach(columns, key.data(), static_cast<Fn&&>(fn));
   }
 
-  /// Forces the index on `columns` to exist. Call before concurrent
-  /// ProbeEachShared readers (index construction is not thread-safe).
+  /// Forces the index on `columns` to exist. Publication-safe: any
+  /// reader may call this; losers of a concurrent build race reuse the
+  /// winner's index.
   void EnsureIndex(const std::vector<int>& columns) const {
     GetOrBuildIndex(columns);
   }
 
   /// Read-only probe for concurrent readers: requires EnsureIndex to
-  /// have been called for `columns`; mutates nothing on the relation,
-  /// counting into `*local` instead (merge with MergeProbeCounters).
+  /// have been called for `columns`; avoids even the relaxed atomic
+  /// counter bumps by counting into `*local` instead (merge with
+  /// MergeProbeCounters).
   template <typename Fn>
   void ProbeEachShared(const std::vector<int>& columns, const TermId* key,
                        ProbeCounters* local, Fn&& fn) const {
@@ -271,7 +285,7 @@ class Relation {
     uint32_t bucket = FindBucketCounted(*index, key, &local->collisions);
     if (bucket == kEmpty) return;
     for (uint32_t at = index->buckets[bucket].head; at != Postings::kNull;) {
-      const PostingBlock block = postings_[at];  // by value, as ProbeEach
+      const PostingBlock block = index->pool[at];  // by value, as ProbeEach
       for (uint32_t s = 0; s < block.count; ++s) {
         fn(static_cast<int64_t>(block.rows[s]));
       }
@@ -279,16 +293,19 @@ class Relation {
     }
   }
   void MergeProbeCounters(const ProbeCounters& local) const {
-    probes_ += local.probes;
-    hash_collisions_ += local.collisions;
+    probes_.fetch_add(local.probes, std::memory_order_relaxed);
+    hash_collisions_.fetch_add(local.collisions, std::memory_order_relaxed);
   }
 
   /// Cached hash-partitioned views of this relation (see
   /// PartitionedView below), keyed by (columns, partitions). Built and
   /// attached by the partitioned HashJoin; the cache entry survives
   /// inserts but goes stale (built_version() != version()) and is
-  /// rebuilt by the next join. Same single-writer discipline as
-  /// EnsureIndex: attach before concurrent readers probe.
+  /// rebuilt by the next join. Both calls are mutex-guarded so
+  /// concurrent joins may race to attach: CachePartitionedView keeps
+  /// the incumbent (and discards `view`) when an entry built against
+  /// the same version already exists, so a view another reader may
+  /// be probing is never destroyed mid-probe.
   PartitionedView* FindPartitionedView(const std::vector<int>& columns,
                                        int partitions) const;
   PartitionedView* CachePartitionedView(
@@ -315,11 +332,15 @@ class Relation {
 
   Telemetry telemetry() const {
     Telemetry t;
-    t.probes = probes_;
-    t.hash_collisions = hash_collisions_;
+    t.probes = probes_.load(std::memory_order_relaxed);
+    t.hash_collisions = hash_collisions_.load(std::memory_order_relaxed);
     t.arena_bytes =
         static_cast<int64_t>(arena_.capacity() * sizeof(TermId));
-    t.posting_blocks = static_cast<int64_t>(postings_.size());
+    const int n = num_indexes_.load(std::memory_order_acquire);
+    for (int i = 0; i < n; ++i) {
+      const Index* index = index_slots_[i].load(std::memory_order_relaxed);
+      t.posting_blocks += static_cast<int64_t>(index->pool.size());
+    }
     t.compactions = compactions_;
     return t;
   }
@@ -329,8 +350,10 @@ class Relation {
   static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
 
   /// One column-subset index: open-addressing table of bucket ids; each
-  /// bucket chains its postings through the relation-wide pool. A
+  /// bucket chains its postings through the index's own pool. A
   /// bucket's key is implicit — the indexed columns of its first row.
+  /// Heap-allocated and published through an atomic slot (below), so
+  /// an Index never moves after publication.
   struct Index {
     std::vector<int> columns;
     std::vector<uint32_t> slots;  // bucket ids, kEmpty = free; pow2 size
@@ -341,6 +364,7 @@ class Relation {
       uint32_t rep;  // first row of the bucket; its key is the bucket key
     };
     std::vector<Bucket> buckets;
+    std::vector<PostingBlock> pool;  // this index's posting blocks
   };
 
   const TermId* RowData(uint32_t row_id) const {
@@ -385,29 +409,47 @@ class Relation {
   void GrowDedup(size_t min_slots);
 
   Index& GetOrBuildIndex(const std::vector<int>& columns) const;
-  const Index* FindIndex(const std::vector<int>& columns) const;
+  Index* FindIndex(const std::vector<int>& columns) const;
   /// Slot whose bucket matches `key`, or kEmpty.
   uint32_t FindBucket(const Index& index, const TermId* key) const {
-    return FindBucketCounted(index, key, &hash_collisions_);
+    int64_t collisions = 0;
+    uint32_t bucket = FindBucketCounted(index, key, &collisions);
+    if (collisions != 0) {
+      hash_collisions_.fetch_add(collisions, std::memory_order_relaxed);
+    }
+    return bucket;
   }
   uint32_t FindBucketCounted(const Index& index, const TermId* key,
                              int64_t* collisions) const;
-  void IndexInsert(Index* index, uint32_t row_id) const;
+  void IndexInsert(Index* index, uint32_t row_id, int64_t* collisions) const;
   void GrowIndexSlots(Index* index) const;
+  void DeleteIndexes();
+
+  /// Upper bound on distinct column-subset indexes per relation. The
+  /// slots are a fixed array so publication is a pointer store plus a
+  /// release on the count — no reallocation a concurrent reader could
+  /// trip over. Probed subsets come from join orders over small
+  /// arities, so a handful is the realistic maximum.
+  static constexpr int kMaxIndexes = 16;
 
   int arity_;
   int64_t num_rows_ = 0;
   uint64_t version_ = 0;
   std::vector<TermId> arena_;      // rows back-to-back, stride = arity
   std::vector<uint32_t> slots_;    // dedup table: row ids; pow2 size
-  // Indexes are caches: mutating them does not change the logical value.
-  mutable std::vector<Index> indexes_;
-  mutable std::vector<PostingBlock> postings_;  // shared posting pool
+  // Indexes are caches: mutating them does not change the logical
+  // value, so they live behind `mutable` and may be built from const
+  // readers. index_slots_[i] for i < num_indexes_ (acquire) is a fully
+  // built, immutable-until-exclusive-insert Index.
+  mutable std::array<std::atomic<Index*>, kMaxIndexes> index_slots_{};
+  mutable std::atomic<int> num_indexes_{0};
+  mutable std::mutex index_mu_;  // serializes index builds
   mutable std::vector<std::unique_ptr<PartitionedView>> pviews_;
+  mutable std::mutex pview_mu_;  // guards pviews_
   int64_t insert_attempts_ = 0;
   int64_t compactions_ = 0;
-  mutable int64_t probes_ = 0;
-  mutable int64_t hash_collisions_ = 0;
+  mutable std::atomic<int64_t> probes_{0};
+  mutable std::atomic<int64_t> hash_collisions_{0};
 };
 
 /// A hash-partitioned, read-only view of one relation's rows keyed on

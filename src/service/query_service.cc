@@ -60,6 +60,11 @@ void QueryService::CountStatus(const Status& status) {
 }
 
 const std::vector<Rule>* QueryService::RectifiedRules() {
+  // Concurrent shared-lock evaluations race here; the mutex makes the
+  // rectification happen once per epoch. The returned pointer stays
+  // valid for the caller's whole evaluation: invalidation only happens
+  // under the exclusive db lock, which excludes every evaluator.
+  std::lock_guard<std::mutex> lock(rectified_mu_);
   if (!rectified_valid_) {
     rectified_ = RectifyRules(&db_.program());
     rectified_valid_ = true;
@@ -81,9 +86,20 @@ std::vector<std::pair<PredId, uint64_t>> QueryService::SnapshotDeps(
 void QueryService::CompactDeps(
     const std::vector<std::pair<PredId, uint64_t>>& deps) {
   if (!options_.compact_read_mostly) return;
-  for (const auto& [pred, version] : deps) {
-    (void)version;
-    if (!read_mostly_.insert(pred).second) continue;
+  // Claim newly read-mostly predicates under cache_mu_, then compact
+  // them under a brief exclusive db lock. The common case — every dep
+  // already marked — takes no db lock at all.
+  std::vector<PredId> fresh;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (const auto& [pred, version] : deps) {
+      (void)version;
+      if (read_mostly_.insert(pred).second) fresh.push_back(pred);
+    }
+  }
+  if (fresh.empty()) return;
+  std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+  for (PredId pred : fresh) {
     if (db_.GetRelation(pred) == nullptr) continue;
     Relation* rel = db_.GetOrCreateRelation(pred);
     if (rel->num_rows() == 0) continue;
@@ -96,7 +112,8 @@ void QueryService::CompactDeps(
   }
 }
 
-Status QueryService::RunPlanner(const ::chainsplit::Query& query,
+Status QueryService::RunPlanner(EvalDb* eval_db,
+                                const ::chainsplit::Query& query,
                                 const std::string& signature,
                                 const CancelToken* cancel,
                                 QueryResponse* response,
@@ -110,6 +127,15 @@ Status QueryService::RunPlanner(const ::chainsplit::Query& query,
       !planner.force.has_value()) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     plan = plan_cache_.Get(signature);
+    if (plan != nullptr && plan->rules_epoch != rules_epoch_) {
+      // The technique was chosen under different rules: forcing it now
+      // could pick a plan the current program makes wrong or
+      // inapplicable. Rule updates clear the whole cache, so a stale
+      // entry should be unreachable — revalidate anyway (defense in
+      // depth; TestOnlyInjectPlanEntry exercises this path).
+      plan_cache_.Erase(signature);
+      plan = nullptr;
+    }
     if (plan != nullptr) {
       ++stats_.plan_cache_hits;
     } else {
@@ -121,7 +147,7 @@ Status QueryService::RunPlanner(const ::chainsplit::Query& query,
     response->plan_cache_hit = true;
   }
 
-  Status status = EvaluateQueryInto(&db_, query, planner, result);
+  Status status = EvaluateQueryInto(eval_db, query, planner, result);
   if (plan != nullptr && !status.ok() &&
       status.code() != StatusCode::kDeadlineExceeded &&
       status.code() != StatusCode::kCancelled) {
@@ -134,7 +160,7 @@ Status QueryService::RunPlanner(const ::chainsplit::Query& query,
     }
     response->plan_cache_hit = false;
     planner.force = options_.planner.force;
-    status = EvaluateQueryInto(&db_, query, planner, result);
+    status = EvaluateQueryInto(eval_db, query, planner, result);
     plan = nullptr;
   }
   if (status.ok() && plan == nullptr && options_.enable_plan_cache &&
@@ -142,6 +168,10 @@ Status QueryService::RunPlanner(const ::chainsplit::Query& query,
     auto entry = std::make_shared<PlanEntry>();
     entry->technique = result->technique;
     std::lock_guard<std::mutex> lock(cache_mu_);
+    // The caller holds db_mu_ (at least shared), so rules_epoch_
+    // cannot have moved since the evaluation started: stamping the
+    // current epoch stamps the epoch the technique was chosen under.
+    entry->rules_epoch = rules_epoch_;
     plan_cache_.Put(signature, std::move(entry),
                     options_.plan_cache_capacity);
   }
@@ -151,9 +181,10 @@ Status QueryService::RunPlanner(const ::chainsplit::Query& query,
   return status;
 }
 
-QueryResponse QueryService::EvaluateLocked(
-    const ::chainsplit::Query& query, const std::string& signature,
-    const RequestOptions& request) {
+QueryResponse QueryService::EvaluateOn(EvalDb* eval_db,
+                                       const ::chainsplit::Query& query,
+                                       const std::string& signature,
+                                       const RequestOptions& request) {
   QueryResponse response;
 
   CancelToken token;
@@ -166,7 +197,8 @@ QueryResponse QueryService::EvaluateLocked(
       (deadline.count() > 0 || request.cancel != nullptr) ? &token : nullptr;
 
   QueryResult result;
-  response.status = RunPlanner(query, signature, cancel, &response, &result);
+  response.status =
+      RunPlanner(eval_db, query, signature, cancel, &response, &result);
   response.technique = result.technique;
   response.plan = std::move(result.plan);
   response.seminaive_stats = result.seminaive_stats;
@@ -174,7 +206,8 @@ QueryResponse QueryService::EvaluateLocked(
   response.topdown_stats = result.topdown_stats;
   if (!response.status.ok()) return response;
 
-  const TermPool& pool = db_.pool();
+  const TermPool& pool =
+      static_cast<const EvalDb*>(eval_db)->pool();
   response.vars.reserve(result.vars.size());
   for (TermId var : result.vars) response.vars.push_back(pool.ToString(var));
   response.rows.reserve(result.answers.size());
@@ -184,6 +217,30 @@ QueryResponse QueryService::EvaluateLocked(
     for (TermId value : row) formatted.push_back(pool.ToString(value));
     response.rows.push_back(std::move(formatted));
   }
+  return response;
+}
+
+QueryResponse QueryService::EvaluateUncached(
+    EvalDb* eval_db, std::string_view text, const RequestOptions& request,
+    bool want_deps, std::vector<std::pair<PredId, uint64_t>>* deps) {
+  QueryResponse response;
+  Program& program = eval_db->program();
+  // ParseQueryOnly leaves the program untouched apart from interning
+  // (internally synchronized), so this is safe under the shared lock.
+  StatusOr<::chainsplit::Query> parsed = ParseQueryOnly(text, &program);
+  if (!parsed.ok()) {
+    response.status = parsed.status();
+    return response;
+  }
+  const ::chainsplit::Query& query = *parsed;
+
+  // Bypass mode skips the plan cache too (empty signature): it is the
+  // uncached reference path.
+  response = EvaluateOn(
+      eval_db, query,
+      request.bypass_cache ? std::string() : PlanSignature(program, query),
+      request);
+  if (want_deps) *deps = SnapshotDeps(ReachablePreds(program, query));
   return response;
 }
 
@@ -248,29 +305,37 @@ QueryResponse QueryService::Query(std::string_view text,
     ++stats_.result_cache_misses;
   }
 
-  // Miss (or bypass): parse and evaluate under the exclusive lock —
-  // parsing interns terms and evaluation writes derived relations.
-  std::unique_lock<std::shared_mutex> db_lock(db_mu_);
-  Program& program = db_.program();
-  const size_t queries_before = program.queries().size();
-  Status parsed = ParseProgram(text, &program);
-  if (!parsed.ok()) {
-    response.status = std::move(parsed);
-    return response;
+  // Miss (or bypass): parse and evaluate. The default path holds only
+  // the *shared* lock — ParseQueryOnly leaves the program untouched
+  // and evaluation writes into a query-local DatabaseOverlay — so
+  // concurrent uncached queries run in parallel against the frozen
+  // base. force_exclusive instead evaluates directly against the base
+  // under the exclusive lock (the pre-overlay reference semantics).
+  std::vector<std::pair<PredId, uint64_t>> deps;
+  const bool want_deps = use_result_cache;
+  uint64_t epoch_at_eval = 0;
+  if (request.force_exclusive) {
+    std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      ++stats_.exclusive_evals;
+      epoch_at_eval = rules_epoch_;
+    }
+    response = EvaluateUncached(&db_, text, request, want_deps, &deps);
+  } else {
+    std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      ++stats_.shared_evals;
+      epoch_at_eval = rules_epoch_;
+    }
+    DatabaseOverlay overlay(&db_);
+    response = EvaluateUncached(&overlay, text, request, want_deps, &deps);
+    DatabaseOverlay::Telemetry scratch = overlay.telemetry();
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    stats_.overlay_relations += scratch.relations;
+    stats_.overlay_bytes += scratch.arena_bytes;
   }
-  if (program.queries().size() != queries_before + 1) {
-    response.status = InvalidArgumentError(
-        "Query() expects exactly one query statement");
-    return response;
-  }
-  const ::chainsplit::Query query = program.queries().back();
-
-  // Bypass mode skips the plan cache too (empty signature): it is the
-  // uncached reference path.
-  response = EvaluateLocked(
-      query,
-      request.bypass_cache ? std::string() : PlanSignature(program, query),
-      request);
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     CountStatus(response.status);
@@ -278,7 +343,11 @@ QueryResponse QueryService::Query(std::string_view text,
   if (!response.status.ok() || !use_result_cache) return response;
 
   auto entry = std::make_shared<ResultEntry>();
-  entry->deps = SnapshotDeps(ReachablePreds(program, query));
+  entry->deps = std::move(deps);
+  // Stamp the epoch observed *during* evaluation (captured under the
+  // db lock), not the current one: a rule update interleaved between
+  // lock release and this Put must leave the entry detectably stale.
+  entry->rules_epoch = epoch_at_eval;
   entry->rows = response.rows;
   entry->num_vars = response.vars.size();
   entry->technique = response.technique;
@@ -288,10 +357,25 @@ QueryResponse QueryService::Query(std::string_view text,
   entry->topdown_stats = response.topdown_stats;
   CompactDeps(entry->deps);
   std::lock_guard<std::mutex> lock(cache_mu_);
-  entry->rules_epoch = rules_epoch_;
   result_cache_.Put(canonical->key, std::move(entry),
                     options_.result_cache_capacity);
   return response;
+}
+
+Status QueryService::TestOnlyInjectPlanEntry(std::string_view query_text,
+                                             Technique technique,
+                                             uint64_t rules_epoch) {
+  std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+  StatusOr<::chainsplit::Query> parsed =
+      ParseQueryOnly(query_text, &db_.program());
+  if (!parsed.ok()) return parsed.status();
+  auto entry = std::make_shared<PlanEntry>();
+  entry->technique = technique;
+  entry->rules_epoch = rules_epoch;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  plan_cache_.Put(PlanSignature(db_.program(), *parsed), std::move(entry),
+                  options_.plan_cache_capacity);
+  return Status::Ok();
 }
 
 UpdateResponse QueryService::Update(std::string_view text,
@@ -317,7 +401,10 @@ UpdateResponse QueryService::Update(std::string_view text,
   if (program.rules().size() != rules_before) {
     response.new_rules =
         static_cast<int64_t>(program.rules().size() - rules_before);
-    rectified_valid_ = false;
+    {
+      std::lock_guard<std::mutex> lock(rectified_mu_);
+      rectified_valid_ = false;
+    }
     std::lock_guard<std::mutex> lock(cache_mu_);
     ++rules_epoch_;
     // New rules can change any derivable answer and any plan choice.
@@ -326,11 +413,19 @@ UpdateResponse QueryService::Update(std::string_view text,
   }
   for (size_t i = queries_before; i < program.queries().size(); ++i) {
     const ::chainsplit::Query& query = program.queries()[i];
+    // Embedded queries run through an overlay too (still under the
+    // exclusive lock we already hold): the base never accumulates
+    // derived evaluation relations.
+    DatabaseOverlay overlay(&db_);
     QueryResponse qr =
-        EvaluateLocked(query, PlanSignature(program, query), request);
+        EvaluateOn(&overlay, query, PlanSignature(program, query), request);
+    DatabaseOverlay::Telemetry scratch = overlay.telemetry();
     {
       std::lock_guard<std::mutex> lock(cache_mu_);
       ++stats_.queries;
+      ++stats_.exclusive_evals;
+      stats_.overlay_relations += scratch.relations;
+      stats_.overlay_bytes += scratch.arena_bytes;
       CountStatus(qr.status);
     }
     response.query_responses.push_back(std::move(qr));

@@ -24,15 +24,21 @@ namespace chainsplit {
 /// QueryService — a concurrent front-end over one shared Database
 /// (docs/service.md).
 ///
-/// Concurrency model: a reader/writer lock over the database. Result
-/// *cache hits* run under the shared (read) side, so any number of
-/// repeated queries execute concurrently; everything that can touch
-/// the term pool or the relations — parsing, planning, evaluation,
-/// fact and rule updates — runs under the exclusive side, because even
-/// "read-only" query evaluation writes (magic seeds, adorned
-/// relations, interned terms, lazily built indexes).
+/// Concurrency model: a reader/writer lock over the database, where
+/// *all query evaluation* — cache hits and uncached queries alike —
+/// runs under the shared (read) side. An uncached query parses with
+/// ParseQueryOnly (interning is internally synchronized and the
+/// program is otherwise untouched) and evaluates through a
+/// DatabaseOverlay: magic seeds, adorned/magic relations, deltas and
+/// answer relations land in query-local scratch, lazy index builds on
+/// base relations are publication-safe, and the base Database stays
+/// frozen. Only genuine mutation takes the exclusive side: fact and
+/// rule updates, CSV loads, and read-mostly posting compaction.
+/// Relation version() snapshots taken under the shared lock are
+/// consistent by construction — no writer can hold the exclusive lock
+/// while the snapshot is taken.
 ///
-/// Two caches amortize the exclusive work:
+/// Two caches amortize repeated work:
 ///  * the plan cache maps a PlanSignature (query shape, constants
 ///    abstracted to boundness) to the technique the planner chose, and
 ///    shares one rectification of the rules per rules epoch;
@@ -73,6 +79,12 @@ struct RequestOptions {
   /// Skip both caches and do not populate them — the uncached
   /// reference path used by differential tests and baselines.
   bool bypass_cache = false;
+  /// Evaluate under the exclusive lock directly against the base
+  /// Database instead of the shared-lock overlay path. This is the
+  /// pre-overlay reference semantics (derived relations persist in the
+  /// base); differential tests compare its answers byte-for-byte
+  /// against the overlay path.
+  bool force_exclusive = false;
 };
 
 /// One answered query. Rows are pre-formatted strings: a cache hit
@@ -124,6 +136,16 @@ struct ServiceStats {
   int64_t result_cache_invalidations = 0;
   int64_t deadline_exceeded = 0;
   int64_t cancelled = 0;
+  /// Lock-acquisition split of uncached evaluations: shared_evals ran
+  /// concurrently under the shared lock (overlay path), exclusive_evals
+  /// serialized under the exclusive lock (updates' embedded queries and
+  /// force_exclusive requests).
+  int64_t shared_evals = 0;
+  int64_t exclusive_evals = 0;
+  /// Query-local scratch footprint of overlay evaluations: relations
+  /// materialized and their arena bytes, summed over all queries.
+  int64_t overlay_relations = 0;
+  int64_t overlay_bytes = 0;
   /// Postings-compaction telemetry (read-mostly marking).
   int64_t compacted_relations = 0;
   int64_t compaction_blocks_before = 0;
@@ -140,6 +162,14 @@ class QueryService {
   /// The underlying database. Unsynchronized — only for single-threaded
   /// setup (seeding facts before serving) and tests.
   Database& db() { return db_; }
+
+  /// Test-only: plants a plan-cache entry for `query_text` stamped
+  /// with `rules_epoch`, simulating an entry recorded before a rule
+  /// update (the normal paths clear the cache on epoch bumps, so the
+  /// stale state is unreachable without this hook). Regression tests
+  /// for the epoch revalidation in RunPlanner use it.
+  Status TestOnlyInjectPlanEntry(std::string_view query_text,
+                                 Technique technique, uint64_t rules_epoch);
 
   /// Evaluates one query statement (`?- goal, ... .`). Any other text
   /// shape is an InvalidArgument.
@@ -171,7 +201,7 @@ class QueryService {
  private:
   struct ResultEntry {
     /// (pred, relation version) snapshot of every relation the query
-    /// can read, taken at evaluation time under the exclusive lock.
+    /// can read, taken at evaluation time under the db lock.
     std::vector<std::pair<PredId, uint64_t>> deps;
     uint64_t rules_epoch = 0;
     /// Formatted row values in canonical variable order.
@@ -185,6 +215,9 @@ class QueryService {
   };
   struct PlanEntry {
     Technique technique = Technique::kTopDown;
+    /// Epoch the technique was chosen under; RunPlanner drops entries
+    /// whose epoch is stale instead of forcing an outdated technique.
+    uint64_t rules_epoch = 0;
   };
   /// An LRU string-keyed map: O(1) lookup, recency bump and eviction.
   template <typename V>
@@ -211,24 +244,35 @@ class QueryService {
     }
   };
 
-  /// Evaluates `query` under the exclusive lock (already held),
-  /// consulting the plan cache. `signature` may be empty to skip the
-  /// plan cache (bypass mode). (The AST type is written qualified —
-  /// the Query() method shadows it in class scope.)
-  QueryResponse EvaluateLocked(const ::chainsplit::Query& query,
-                               const std::string& signature,
-                               const RequestOptions& request);
+  /// Evaluates `query` against `eval_db` (the caller holds db_mu_ in
+  /// the mode matching eval_db: shared for an overlay, exclusive for
+  /// the base), consulting the plan cache. `signature` may be empty to
+  /// skip the plan cache (bypass mode). (The AST type is written
+  /// qualified — the Query() method shadows it in class scope.)
+  QueryResponse EvaluateOn(EvalDb* eval_db, const ::chainsplit::Query& query,
+                           const std::string& signature,
+                           const RequestOptions& request);
+  /// Parse + evaluate + dependency snapshot for an uncached query;
+  /// the caller holds db_mu_ in the mode matching `eval_db` for the
+  /// whole call, which freezes relation versions and the rules epoch.
+  QueryResponse EvaluateUncached(
+      EvalDb* eval_db, std::string_view text, const RequestOptions& request,
+      bool want_deps, std::vector<std::pair<PredId, uint64_t>>* deps);
   /// Runs the planner with `cancel` attached; retries unforced when a
   /// cached forced technique turns out inapplicable.
-  Status RunPlanner(const ::chainsplit::Query& query,
+  Status RunPlanner(EvalDb* eval_db, const ::chainsplit::Query& query,
                     const std::string& signature, const CancelToken* cancel,
                     QueryResponse* response, QueryResult* result);
   /// Rectified rules of the current epoch, computed on first use.
+  /// Mutex-guarded so concurrent shared-lock evaluations can share the
+  /// one rectification per epoch.
   const std::vector<Rule>* RectifiedRules();
   /// Marks every dependency relation read-mostly, compacting its
-  /// postings the first time (requires the exclusive lock).
+  /// postings the first time. Takes the exclusive lock itself when
+  /// there is anything to compact — the caller must NOT hold db_mu_.
   void CompactDeps(const std::vector<std::pair<PredId, uint64_t>>& deps);
   /// Snapshot of the current versions of the relations `preds` read.
+  /// Caller holds db_mu_ (either mode).
   std::vector<std::pair<PredId, uint64_t>> SnapshotDeps(
       const std::vector<PredId>& preds);
   void CountStatus(const Status& status);
@@ -236,8 +280,11 @@ class QueryService {
   const ServiceOptions options_;
   Database db_;
 
-  /// Guards db_ (and, for writers, everything below): shared = cache
-  /// hits, exclusive = parse/plan/evaluate/update.
+  /// Guards db_: shared = anything that only reads the base (cache
+  /// hits, uncached evaluation through an overlay), exclusive =
+  /// mutation (fact/rule updates, CSV loads, posting compaction) and
+  /// force_exclusive evaluation against the base itself. Lock order
+  /// when both are needed: db_mu_ before cache_mu_.
   mutable std::shared_mutex db_mu_;
   /// Guards the caches and counters; never held across evaluation.
   mutable std::mutex cache_mu_;
@@ -245,7 +292,10 @@ class QueryService {
   LruCache<ResultEntry> result_cache_;
   LruCache<PlanEntry> plan_cache_;
   uint64_t rules_epoch_ = 0;
-  /// RectifyRules(db rules) for rectified_epoch_; reused by every
+  /// Guards rectified_/rectified_valid_ — concurrent shared-lock
+  /// evaluations race to rectify first; the mutex makes it once.
+  mutable std::mutex rectified_mu_;
+  /// RectifyRules(db rules) for the current epoch; reused by every
   /// evaluation of that epoch.
   std::vector<Rule> rectified_;
   bool rectified_valid_ = false;

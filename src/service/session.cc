@@ -140,6 +140,10 @@ bool Session::HandleCommand(const std::string& line, std::string* out) {
                    stats.result_cache_invalidations, " invalidations\n",
                    "% plan cache: ", stats.plan_cache_hits, " hits, ",
                    stats.plan_cache_misses, " misses\n",
+                   "% locks: ", stats.shared_evals, " shared evals, ",
+                   stats.exclusive_evals, " exclusive evals\n",
+                   "% overlays: ", stats.overlay_relations, " relations, ",
+                   stats.overlay_bytes, " scratch bytes\n",
                    "% deadlines exceeded ", stats.deadline_exceeded,
                    ", cancelled ", stats.cancelled, "\n",
                    "% compacted ", stats.compacted_relations, " relations (",

@@ -15,61 +15,73 @@ size_t TermPool::CompoundKeyHash::operator()(const CompoundKey& k) const {
 
 TermPool::TermPool() { nil_ = MakeSymbol(kNilName); }
 
-int32_t TermPool::InternName(std::string_view name) {
+int32_t TermPool::InternNameLocked(std::string_view name) {
   auto it = name_index_.find(std::string(name));
   if (it != name_index_.end()) return it->second;
   int32_t index = static_cast<int32_t>(names_.size());
-  names_.emplace_back(name);
-  name_index_.emplace(names_.back(), index);
+  names_.push_back(std::string(name));
+  name_index_.emplace(names_[index], index);
   return index;
 }
 
-TermId TermPool::AddNode(const Node& node) {
-  TermId id = static_cast<TermId>(nodes_.size());
-  nodes_.push_back(node);
-  return id;
+TermId TermPool::AddNodeLocked(const Node& node) {
+  return static_cast<TermId>(nodes_.push_back(node));
 }
 
 TermId TermPool::MakeInt(int64_t value) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
   auto it = int_index_.find(value);
   if (it != int_index_.end()) return it->second;
   Node node{TermKind::kInt, /*ground=*/true,
             static_cast<int32_t>(int_values_.size())};
   int_values_.push_back(value);
-  TermId id = AddNode(node);
+  TermId id = AddNodeLocked(node);
   int_index_.emplace(value, id);
   return id;
 }
 
-TermId TermPool::MakeSymbol(std::string_view name) {
-  int32_t name_index = InternName(name);
+TermId TermPool::MakeSymbolLocked(std::string_view name) {
+  int32_t name_index = InternNameLocked(name);
   auto it = symbol_index_.find(name_index);
   if (it != symbol_index_.end()) return it->second;
-  TermId id = AddNode(Node{TermKind::kSymbol, /*ground=*/true, name_index});
+  TermId id =
+      AddNodeLocked(Node{TermKind::kSymbol, /*ground=*/true, name_index});
   symbol_index_.emplace(name_index, id);
   return id;
 }
 
-TermId TermPool::MakeVariable(std::string_view name) {
-  int32_t name_index = InternName(name);
+TermId TermPool::MakeSymbol(std::string_view name) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return MakeSymbolLocked(name);
+}
+
+TermId TermPool::MakeVariableLocked(std::string_view name) {
+  int32_t name_index = InternNameLocked(name);
   auto it = variable_index_.find(name_index);
   if (it != variable_index_.end()) return it->second;
-  TermId id = AddNode(Node{TermKind::kVariable, /*ground=*/false, name_index});
+  TermId id =
+      AddNodeLocked(Node{TermKind::kVariable, /*ground=*/false, name_index});
   variable_index_.emplace(name_index, id);
   return id;
+}
+
+TermId TermPool::MakeVariable(std::string_view name) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return MakeVariableLocked(name);
 }
 
 TermId TermPool::FreshVariable(std::string_view hint) {
   // Fresh names live in a reserved namespace: user variables start with
   // an upper-case letter or '_', but the parser never produces names
   // containing '#'.
+  std::lock_guard<std::mutex> lock(intern_mu_);
   std::string name = StrCat(hint, "#", fresh_counter_++);
-  return MakeVariable(name);
+  return MakeVariableLocked(name);
 }
 
-TermId TermPool::MakeCompound(std::string_view functor,
-                              std::span<const TermId> args) {
-  CompoundKey key{InternName(functor),
+TermId TermPool::MakeCompoundLocked(std::string_view functor,
+                                    std::span<const TermId> args) {
+  CompoundKey key{InternNameLocked(functor),
                   std::vector<TermId>(args.begin(), args.end())};
   auto it = compound_index_.find(key);
   if (it != compound_index_.end()) return it->second;
@@ -79,13 +91,19 @@ TermId TermPool::MakeCompound(std::string_view functor,
         << "argument TermId out of range";
     ground = ground && nodes_[Index(a)].ground;
   }
+  size_t args_offset = args_.AppendRange(args.data(), args.size());
   Node node{TermKind::kCompound, ground, key.functor_name_index,
-            static_cast<int32_t>(args_.size()),
+            static_cast<int32_t>(args_offset),
             static_cast<int32_t>(args.size())};
-  args_.insert(args_.end(), args.begin(), args.end());
-  TermId id = AddNode(node);
+  TermId id = AddNodeLocked(node);
   compound_index_.emplace(std::move(key), id);
   return id;
+}
+
+TermId TermPool::MakeCompound(std::string_view functor,
+                              std::span<const TermId> args) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return MakeCompoundLocked(functor, args);
 }
 
 TermId TermPool::MakeCons(TermId head, TermId tail) {
@@ -116,7 +134,9 @@ const std::string& TermPool::functor(TermId t) const {
 std::span<const TermId> TermPool::args(TermId t) const {
   const Node& node = nodes_[Index(t)];
   if (node.kind != TermKind::kCompound) return {};
-  return {args_.data() + node.args_offset,
+  // One AppendRange run never straddles a chunk, so the span is
+  // contiguous from the first argument's address.
+  return {args_.PtrTo(static_cast<size_t>(node.args_offset)),
           static_cast<size_t>(node.arity)};
 }
 

@@ -2,12 +2,14 @@
 #define CHAINSPLIT_TERM_TERM_H_
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/chunked_vector.h"
 #include "common/logging.h"
 
 namespace chainsplit {
@@ -34,8 +36,12 @@ enum class TermKind : uint8_t {
 /// Arena of hash-consed terms. All terms used by a Program / Database
 /// live in one pool; TermIds from different pools must not be mixed.
 ///
-/// Thread-compatibility: const accessors are safe to call concurrently;
-/// interning (Make*) is not synchronized.
+/// Thread-safety: interning (Make*) is serialized by an internal
+/// mutex, and the node/name/argument arenas are append-only
+/// ChunkedVectors, so const accessors are lock-free and safe to call
+/// concurrently with interning. A reader may dereference any TermId it
+/// obtained through a synchronized channel (the interning call itself,
+/// or a lock handoff such as the service's db_mu_).
 class TermPool {
  public:
   TermPool();
@@ -128,20 +134,29 @@ class TermPool {
     return static_cast<size_t>(t);
   }
 
-  int32_t InternName(std::string_view name);
-  TermId AddNode(const Node& node);
+  // Unlocked interning bodies; callers hold intern_mu_.
+  int32_t InternNameLocked(std::string_view name);
+  TermId AddNodeLocked(const Node& node);
+  TermId MakeSymbolLocked(std::string_view name);
+  TermId MakeVariableLocked(std::string_view name);
+  TermId MakeCompoundLocked(std::string_view functor,
+                            std::span<const TermId> args);
 
-  std::vector<Node> nodes_;
-  std::vector<int64_t> int_values_;
-  std::vector<std::string> names_;
-  std::vector<TermId> args_;
+  // Append-only arenas: readers index them lock-free; the writer side
+  // is serialized by intern_mu_.
+  ChunkedVector<Node> nodes_;
+  ChunkedVector<int64_t> int_values_;
+  ChunkedVector<std::string> names_;
+  ChunkedVector<TermId> args_;
 
+  // Hash-consing indexes; touched only under intern_mu_.
   std::unordered_map<int64_t, TermId> int_index_;
   std::unordered_map<std::string, int32_t> name_index_;
   std::unordered_map<int32_t, TermId> symbol_index_;    // name -> symbol term
   std::unordered_map<int32_t, TermId> variable_index_;  // name -> var term
   std::unordered_map<CompoundKey, TermId, CompoundKeyHash> compound_index_;
 
+  mutable std::mutex intern_mu_;
   int64_t fresh_counter_ = 0;
   TermId nil_ = kNullTerm;
 

@@ -1,0 +1,102 @@
+// ChunkedVector: the append-only chunk ladder behind the interning
+// pools. Stability of element addresses across growth, contiguity of
+// AppendRange runs across chunk-boundary padding, and the
+// single-writer / many-reader publication contract (exercised under
+// tsan via the tier1-tsan label).
+
+#include "common/chunked_vector.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace chainsplit {
+namespace {
+
+TEST(ChunkedVectorTest, PushBackAndIndexing) {
+  ChunkedVector<int> v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(v.push_back(i * 3), static_cast<size_t>(i));
+  }
+  EXPECT_EQ(v.size(), 10000u);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(v[i], i * 3);
+}
+
+TEST(ChunkedVectorTest, AddressesStableAcrossGrowth) {
+  ChunkedVector<std::string> v;
+  v.push_back("first");
+  const std::string* first = v.PtrTo(0);
+  // Grow across several chunk boundaries (base chunk is 1024).
+  for (int i = 0; i < 20000; ++i) v.push_back(std::to_string(i));
+  EXPECT_EQ(v.PtrTo(0), first);
+  EXPECT_EQ(*first, "first");
+  EXPECT_EQ(v[1], "0");
+  EXPECT_EQ(v[20000], "19999");
+}
+
+TEST(ChunkedVectorTest, AppendRangeIsContiguous) {
+  ChunkedVector<int> v;
+  // Fill to just short of the first chunk boundary (1024), then append
+  // a run that cannot fit: it must land contiguously in chunk 1, with
+  // the gap padded.
+  for (int i = 0; i < 1020; ++i) v.push_back(i);
+  int run[8] = {90, 91, 92, 93, 94, 95, 96, 97};
+  size_t start = v.AppendRange(run, 8);
+  EXPECT_EQ(start, 1024u) << "run must skip the 4-slot remainder";
+  EXPECT_EQ(v.size(), 1032u);
+  const int* p = v.PtrTo(start);
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_EQ(p[j], 90 + j);
+    EXPECT_EQ(v.PtrTo(start + j), p + j) << "run not contiguous";
+  }
+  // Padding slots are value-initialized.
+  for (size_t i = 1020; i < 1024; ++i) EXPECT_EQ(v[i], 0);
+}
+
+TEST(ChunkedVectorTest, AppendRangeWithinChunkDoesNotPad) {
+  ChunkedVector<int> v;
+  int run[4] = {1, 2, 3, 4};
+  EXPECT_EQ(v.AppendRange(run, 4), 0u);
+  EXPECT_EQ(v.AppendRange(run, 4), 4u);
+  EXPECT_EQ(v.size(), 8u);
+  EXPECT_EQ(v.AppendRange(run, 0), 8u);  // empty run: no effect
+  EXPECT_EQ(v.size(), 8u);
+}
+
+TEST(ChunkedVectorTest, ConcurrentReadersSeePublishedPrefix) {
+  // One writer appends; readers repeatedly load size() and verify
+  // every element below it. Under tsan this checks the release/acquire
+  // pairing on size_ and the chunk-pointer publication.
+  ChunkedVector<int> v;
+  constexpr int kTotal = 60000;  // crosses several chunk boundaries
+  std::atomic<bool> done{false};
+  std::atomic<bool> bad{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&v, &done, &bad] {
+      while (!done.load(std::memory_order_acquire)) {
+        size_t n = v.size();
+        // Spot-check a spread of the published prefix.
+        for (size_t i = 0; i < n; i += 997) {
+          if (v[i] != static_cast<int>(i)) bad.store(true);
+        }
+        if (n > 0 && v[n - 1] != static_cast<int>(n - 1)) bad.store(true);
+      }
+    });
+  }
+
+  for (int i = 0; i < kTotal; ++i) v.push_back(i);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_FALSE(bad.load());
+  EXPECT_EQ(v.size(), static_cast<size_t>(kTotal));
+}
+
+}  // namespace
+}  // namespace chainsplit

@@ -1,0 +1,154 @@
+// Snapshot-isolated evaluation: the shared-lock overlay path must be
+// answer-for-answer identical to the exclusive-lock baseline
+// (force_exclusive) and must leave the base database untouched — no
+// new base relations, no version bumps, regardless of technique.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "service/query_service.h"
+#include "workload/graph_gen.h"
+
+namespace chainsplit {
+namespace {
+
+constexpr const char* kTcProgram =
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- edge(X, Z), tc(Z, Y).\n"
+    "rtc(X, Y) :- edge(Y, X).\n"
+    "rtc(X, Y) :- edge(Z, X), rtc(Z, Y).\n"
+    "sg(X, Y) :- edge(P, X), edge(P, Y).\n";
+
+void Seed(QueryService* service) {
+  GraphOptions graph;
+  graph.num_nodes = 60;
+  graph.num_edges = 150;
+  graph.acyclic = true;
+  graph.seed = 17;
+  GenerateGraph(&service->db(), "edge", graph);
+  UpdateResponse rules = service->Update(kTcProgram);
+  ASSERT_TRUE(rules.status.ok()) << rules.status;
+}
+
+std::vector<std::string> Queries() {
+  std::vector<std::string> queries;
+  for (int i = 0; i < 12; ++i) {
+    queries.push_back(StrCat("?- tc(n", i * 3, ", Y)."));
+    queries.push_back(StrCat("?- rtc(n", i * 3 + 1, ", Y)."));
+  }
+  queries.push_back("?- sg(n5, Y).");
+  queries.push_back("?- tc(X, n40).");
+  return queries;
+}
+
+std::string Flatten(const QueryResponse& response) {
+  std::string flat;
+  for (const std::vector<std::string>& row : response.rows) {
+    flat += StrJoin(row, ",");
+    flat += ";";
+  }
+  return flat;
+}
+
+/// Sorted (pred, version) snapshot of every base relation.
+std::vector<std::pair<PredId, uint64_t>> BaseSnapshot(Database* db) {
+  std::vector<std::pair<PredId, uint64_t>> snapshot;
+  for (PredId pred : db->StoredPredicates()) {
+    snapshot.emplace_back(pred, db->GetRelation(pred)->version());
+  }
+  std::sort(snapshot.begin(), snapshot.end());
+  return snapshot;
+}
+
+TEST(ServiceOverlayTest, OverlayMatchesExclusiveAndBaseStaysFrozen) {
+  QueryService service;
+  Seed(&service);
+  const std::vector<std::pair<PredId, uint64_t>> before =
+      BaseSnapshot(&service.db());
+  ASSERT_FALSE(before.empty());
+
+  // Overlay path first (the default): byte answers recorded, base
+  // checked after every query — the overlay must never leak into it.
+  RequestOptions overlay;
+  overlay.bypass_cache = true;
+  std::vector<std::string> overlay_answers;
+  for (const std::string& text : Queries()) {
+    QueryResponse r = service.Query(text, overlay);
+    ASSERT_TRUE(r.status.ok()) << text << ": " << r.status;
+    overlay_answers.push_back(Flatten(r));
+    EXPECT_EQ(BaseSnapshot(&service.db()), before) << text;
+  }
+
+  // Exclusive baseline second: identical answers, byte for byte. The
+  // baseline keeps the pre-overlay semantics — derived relations
+  // persist in the base — so each query gets a pristine, identically
+  // seeded service (overlay queries start pristine by construction).
+  RequestOptions exclusive;
+  exclusive.bypass_cache = true;
+  exclusive.force_exclusive = true;
+  const std::vector<std::string> queries = Queries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryService baseline;
+    Seed(&baseline);
+    QueryResponse r = baseline.Query(queries[i], exclusive);
+    ASSERT_TRUE(r.status.ok()) << queries[i] << ": " << r.status;
+    EXPECT_EQ(Flatten(r), overlay_answers[i]) << queries[i];
+    EXPECT_EQ(baseline.stats().exclusive_evals, 1);
+  }
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shared_evals, static_cast<int64_t>(queries.size()));
+  EXPECT_EQ(stats.exclusive_evals, 0);
+  EXPECT_GT(stats.overlay_relations, 0);
+  EXPECT_GT(stats.overlay_bytes, 0);
+}
+
+TEST(ServiceOverlayTest, CachedPathMatchesOverlayReference) {
+  QueryService service;
+  Seed(&service);
+  RequestOptions bypass;
+  bypass.bypass_cache = true;
+  for (const std::string& text : Queries()) {
+    QueryResponse reference = service.Query(text, bypass);
+    QueryResponse fill = service.Query(text);
+    QueryResponse hit = service.Query(text);
+    ASSERT_TRUE(reference.status.ok()) << reference.status;
+    ASSERT_TRUE(fill.status.ok()) << fill.status;
+    ASSERT_TRUE(hit.status.ok()) << hit.status;
+    EXPECT_TRUE(hit.result_cache_hit) << text;
+    EXPECT_EQ(Flatten(fill), Flatten(reference)) << text;
+    EXPECT_EQ(Flatten(hit), Flatten(reference)) << text;
+  }
+}
+
+TEST(ServiceOverlayTest, OverlayAnswersSeeFreshFacts) {
+  // A fact write between two uncached overlay queries must be visible
+  // to the second one (the overlay snapshots at query start, not at
+  // service construction).
+  QueryService service;
+  UpdateResponse seeded = service.Update(
+      "tc(X, Y) :- edge(X, Y).\n"
+      "tc(X, Y) :- edge(X, Z), tc(Z, Y).\n"
+      "edge(a, b).\n");
+  ASSERT_TRUE(seeded.status.ok()) << seeded.status;
+
+  RequestOptions bypass;
+  bypass.bypass_cache = true;
+  QueryResponse first = service.Query("?- tc(a, Y).", bypass);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(first.rows.size(), 1u);
+
+  UpdateResponse grown = service.Update("edge(b, c).\n");
+  ASSERT_TRUE(grown.status.ok());
+  QueryResponse second = service.Query("?- tc(a, Y).", bypass);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace chainsplit

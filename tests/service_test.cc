@@ -335,5 +335,48 @@ TEST(ServiceTest, BatchDriverReportsThroughputAndHitRate) {
   EXPECT_GT(report.result_hit_rate, 0.9);
 }
 
+TEST(ServiceTest, StalePlanEntryIsDroppedNotForced) {
+  // Regression: a plan-cache entry recorded under an older rules epoch
+  // must not force its technique after the rules changed. The normal
+  // paths clear the cache on epoch bumps, so the stale state is
+  // planted with the test hook.
+  QueryService service;
+  SeedChain(&service, 10);
+  ASSERT_TRUE(service
+                  .TestOnlyInjectPlanEntry("?- tc(a0, Y).",
+                                           Technique::kTopDown,
+                                           service.rules_epoch() + 7)
+                  .ok());
+
+  QueryResponse response = service.Query("?- tc(a0, Y).");
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_FALSE(response.plan_cache_hit);
+  EXPECT_EQ(response.rows.size(), 10u);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_cache_hits, 0);
+  EXPECT_EQ(stats.plan_cache_misses, 1);
+}
+
+TEST(ServiceTest, CurrentEpochPlanEntryIsReused) {
+  // Control for the regression above: an entry stamped with the
+  // *current* epoch is a legitimate hit and forces its technique.
+  QueryService service;
+  SeedChain(&service, 10);
+  ASSERT_TRUE(service
+                  .TestOnlyInjectPlanEntry("?- tc(a0, Y).",
+                                           Technique::kTopDown,
+                                           service.rules_epoch())
+                  .ok());
+
+  QueryResponse response = service.Query("?- tc(a0, Y).");
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_TRUE(response.plan_cache_hit);
+  EXPECT_EQ(response.technique, Technique::kTopDown);
+  EXPECT_EQ(response.rows.size(), 10u);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_cache_hits, 1);
+  EXPECT_EQ(stats.plan_cache_misses, 0);
+}
+
 }  // namespace
 }  // namespace chainsplit
