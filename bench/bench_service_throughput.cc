@@ -9,12 +9,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strings.h"
+#include "net/blocking_client.h"
 #include "service/batch_driver.h"
 #include "service/query_service.h"
+#include "service/server.h"
 #include "workload/graph_gen.h"
 
 namespace chainsplit {
@@ -251,6 +256,74 @@ void MixedReadUpdate(benchmark::State& state) {
   }
 }
 
+/// The same cached workload, but end-to-end through the epoll network
+/// front end: N socket clients on loopback, each request a full
+/// framed round trip. The gap to CachedClients/N is the protocol +
+/// event-loop overhead; the net counters land in BENCH_service.json.
+void NetRoundTrip(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  constexpr int kOpsPerClient = 256;
+  for (auto _ : state) {
+    state.PauseTiming();
+    QueryService service;
+    Seed(&service);
+    ServerOptions server_options;
+    server_options.mode = ServerOptions::Mode::kEpoll;
+    TcpServer server(&service, server_options);
+    StatusOr<int> port = server.Start(0);
+    CS_CHECK(port.ok()) << port.status();
+    std::vector<std::string> queries;
+    for (const BatchOp& op : QueryOps()) queries.push_back(op.text + "\n");
+    std::atomic<int64_t> errors{0};
+    state.ResumeTiming();
+
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> load;
+      load.reserve(static_cast<size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        load.emplace_back([&, c] {
+          BlockingClient client("127.0.0.1", *port);
+          if (!client.connected()) {
+            errors.fetch_add(kOpsPerClient);
+            return;
+          }
+          client.ReadFrame();  // banner
+          for (int i = 0; i < kOpsPerClient; ++i) {
+            const std::string& q = queries[(c + i) % queries.size()];
+            if (!client.Send(q) ||
+                client.ReadFrame().find("answer") == std::string::npos) {
+              errors.fetch_add(1);
+            }
+          }
+        });
+      }
+      for (std::thread& t : load) t.join();
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    state.PauseTiming();
+    CS_CHECK(errors.load() == 0) << errors.load() << " round-trip errors";
+    const NetCounters& net = server.net_counters();
+    const double total_ops = static_cast<double>(clients) * kOpsPerClient;
+    state.counters["qps"] = seconds > 0 ? total_ops / seconds : 0;
+    state.counters["net_dispatched"] =
+        static_cast<double>(net.dispatched.load());
+    state.counters["net_bytes_in"] = static_cast<double>(net.bytes_in.load());
+    state.counters["net_bytes_out"] =
+        static_cast<double>(net.bytes_out.load());
+    state.counters["net_queue_high_watermark"] =
+        static_cast<double>(net.queue_high_watermark.load());
+    state.counters["net_rejected_overload"] =
+        static_cast<double>(net.rejected_overload.load());
+    server.Stop();
+    state.ResumeTiming();
+  }
+}
+
 BENCHMARK(UncachedSingleThread)->Unit(benchmark::kMillisecond)->Iterations(3);
 BENCHMARK(UncachedClients)
     ->Unit(benchmark::kMillisecond)
@@ -268,6 +341,11 @@ BENCHMARK(MixedReadUpdate)
     ->Unit(benchmark::kMillisecond)
     ->Arg(8)
     ->Iterations(3);
+BENCHMARK(NetRoundTrip)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(8)
+    ->Iterations(3);
 
 }  // namespace
 }  // namespace chainsplit
@@ -279,7 +357,8 @@ int main(int argc, char** argv) {
       "qps of UncachedSingleThread (shared-lock cache hits); "
       "UncachedClients/N scales with cores (shared-lock overlay "
       "evaluation, no cache); MixedReadUpdate shows the cost of "
-      "invalidating writes.\n\n");
+      "invalidating writes; NetRoundTrip adds the epoll front end's "
+      "framed-socket round trip on top of the cached path.\n\n");
   chainsplit::CheckCachedMatchesUncached();
   chainsplit::CheckOverlayMatchesExclusive();
   benchmark::Initialize(&argc, argv);

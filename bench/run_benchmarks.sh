@@ -55,8 +55,9 @@ for bin in "${benches[@]}"; do
   name=$(basename "$bin")
   json_name=${name#bench_}
   # The service bench is the acceptance artifact; keep its historical
-  # short name.
+  # short name. The saturation bench is the front-end artifact.
   [[ $json_name == service_throughput ]] && json_name=service
+  [[ $json_name == net_saturation ]] && json_name=net
   out="$out_dir/BENCH_${json_name}.json"
   echo "== $name -> $out"
   if ! "$bin" --benchmark_out="$out" --benchmark_out_format=json; then

@@ -1,0 +1,100 @@
+#include "net/blocking_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace chainsplit {
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+bool BlockingClient::Connect(const std::string& addr, int port) {
+  Close();
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1) return false;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+void BlockingClient::Abort() {
+  if (fd_ < 0) return;
+  struct linger lg {
+    1, 0
+  };
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd_);
+  fd_ = -1;
+}
+
+bool BlockingClient::Send(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string BlockingClient::ReadFrame() {
+  std::string frame;
+  while (true) {
+    size_t newline;
+    while ((newline = buffer_.find('\n')) != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (line == ".") return frame;
+      frame += line;
+      frame += "\n";
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return "";
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::string BlockingClient::ReadUntilClose() {
+  std::string all = std::move(buffer_);
+  buffer_.clear();
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd_, chunk, sizeof(chunk), 0)) > 0) {
+    all.append(chunk, static_cast<size_t>(n));
+  }
+  return all;
+}
+
+}  // namespace chainsplit

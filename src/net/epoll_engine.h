@@ -1,0 +1,136 @@
+#ifndef CHAINSPLIT_NET_EPOLL_ENGINE_H_
+#define CHAINSPLIT_NET_EPOLL_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/handler.h"
+#include "net/net_counters.h"
+#include "net/request_queue.h"
+
+namespace chainsplit {
+
+struct EngineOptions {
+  /// Bounded request-queue capacity; a full queue rejects with
+  /// `% overloaded` instead of queueing (admission control).
+  size_t queue_capacity = 256;
+  /// Dispatcher pool size; 0 = max(2, hardware_concurrency).
+  int workers = 0;
+  /// Maximum request-line size; longer lines get an error frame and
+  /// the connection is closed. 0 = unlimited.
+  size_t max_line_bytes = 1 << 20;
+};
+
+/// The event-driven TCP engine: one epoll loop thread owning every
+/// connection fd and all per-connection state, plus a fixed dispatcher
+/// pool executing request lines pulled from a bounded queue.
+///
+/// Data flow (docs/service.md has the full picture):
+///
+///   accept -> Conn{framer, handler, write buffer}
+///   EPOLLIN -> read -> framer -> line -> BoundedQueue::TryPush
+///     full  -> "% overloaded" frame appended, connection stays open
+///   worker: handler->HandleLine(line) -> Post completion
+///   loop:   append response, flush, re-arm EPOLLIN, pump next line
+///
+/// Per-connection ordering and backpressure come from one invariant:
+/// at most one line per connection is ever in flight, and while it is,
+/// the loop stops reading that socket (EPOLLIN disarmed) — a pipelining
+/// client is throttled by TCP flow control, not by server memory.
+/// Cross-thread handoff is mailbox-only (EventLoop::Post), so all
+/// connection state is loop-thread-confined; the queue push/pop pair
+/// orders the handler's memory accesses between loop and workers.
+class EpollEngine {
+ public:
+  /// `counters` must outlive the engine; configuration fields
+  /// (mode/workers/queue_capacity) are filled in by Start.
+  EpollEngine(LineHandlerFactory factory, EngineOptions options,
+              NetCounters* counters);
+  ~EpollEngine();
+  EpollEngine(const EpollEngine&) = delete;
+  EpollEngine& operator=(const EpollEngine&) = delete;
+
+  /// Takes ownership of `listen_fd` (an already-listening socket),
+  /// switches it non-blocking and starts the loop thread and workers.
+  Status Start(int listen_fd);
+
+  /// Stops workers and the loop, closes every connection. Idempotent.
+  /// In-flight handler calls run to completion first — cancel them via
+  /// an external token (the TcpServer shutdown token) before calling.
+  void Stop();
+
+  /// Live connections (loop-thread gauge, for tests).
+  int64_t active_connections() const {
+    return counters_->active_connections.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    int fd = -1;
+    std::unique_ptr<LineHandler> handler;
+    LineFramer framer;
+    std::string write_buf;   // unsent response bytes
+    size_t write_off = 0;    // sent prefix of write_buf
+    uint32_t armed = 0;      // interest mask currently registered
+    bool in_flight = false;  // one line at the dispatcher pool
+    bool closing = false;    // close once write_buf drains
+    bool dead = false;       // fd closed; destroy when !in_flight
+
+    explicit Conn(size_t max_line) : framer(max_line) {}
+  };
+
+  struct Request {
+    uint64_t conn_id = 0;
+    /// Stable while the request is in flight: a Conn with an in-flight
+    /// line is never destroyed, only marked dead.
+    LineHandler* handler = nullptr;
+    std::string line;
+  };
+
+  void OnEvent(uint64_t key, uint32_t events);
+  void Accept();
+  /// Reads until EAGAIN; feeds the framer.
+  void ReadConn(Conn* conn);
+  /// Parses buffered lines: dispatches one (or rejects on overflow)
+  /// until a line is in flight or the buffer runs dry.
+  void PumpConn(Conn* conn);
+  /// Writes as much buffered output as the socket takes.
+  void FlushConn(Conn* conn);
+  /// Recomputes and registers the epoll interest mask.
+  void UpdateInterest(Conn* conn);
+  /// Closes the fd; destroys now or defers until the in-flight line
+  /// completes.
+  void CloseConn(Conn* conn);
+  void OnCompletion(uint64_t conn_id, std::string out, bool keep_open);
+  void WorkerMain();
+
+  const LineHandlerFactory factory_;
+  const EngineOptions options_;
+  NetCounters* const counters_;
+
+  EventLoop loop_;
+  BoundedQueue<Request> queue_;
+  int listen_fd_ = -1;
+  uint64_t next_conn_id_ = 1;
+  /// Loop-thread-only. Keyed by id, not fd: the kernel reuses fds
+  /// immediately, ids are never reused.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+  bool started_ = false;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_NET_EPOLL_ENGINE_H_

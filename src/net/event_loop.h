@@ -1,0 +1,62 @@
+#ifndef CHAINSPLIT_NET_EVENT_LOOP_H_
+#define CHAINSPLIT_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace chainsplit {
+
+/// A level-triggered epoll reactor with a cross-thread task mailbox.
+///
+/// One thread calls Run(); it blocks in epoll_wait and dispatches
+/// ready (key, events) pairs to the callback. Any thread may Post() a
+/// task (or Quit()): posted work is queued under a mutex and an
+/// eventfd write wakes the loop, which runs all pending tasks on the
+/// loop thread before the next wait — that is the only
+/// synchronization the connection state machines need, since every
+/// touch of per-connection state happens on the loop thread.
+class EventLoop {
+ public:
+  EventLoop() = default;
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and the wakeup eventfd.
+  Status Init();
+
+  /// Registers `fd` with the given level-triggered interest mask;
+  /// `key` comes back in the Run callback.
+  Status Add(int fd, uint32_t events, uint64_t key);
+  Status Mod(int fd, uint32_t events, uint64_t key);
+  void Del(int fd);
+
+  /// Runs until Quit(). `on_event` is called on the loop thread for
+  /// each ready registration.
+  void Run(const std::function<void(uint64_t key, uint32_t events)>& on_event);
+
+  /// Enqueues `task` to run on the loop thread and wakes the loop.
+  /// Safe from any thread. Tasks posted after Quit() are dropped when
+  /// Run() returns.
+  void Post(std::function<void()> task);
+
+  /// Asks Run() to return after the current dispatch round.
+  void Quit();
+
+ private:
+  void Wake();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::mutex mu_;  // guards tasks_, quit_
+  std::vector<std::function<void()>> tasks_;
+  bool quit_ = false;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_NET_EVENT_LOOP_H_

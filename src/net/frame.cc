@@ -1,0 +1,44 @@
+#include "net/frame.h"
+
+#include "common/strings.h"
+
+namespace chainsplit {
+
+void LineFramer::Append(const char* data, size_t n) {
+  // Compact once per network read: cheap relative to the syscall, and
+  // it keeps the buffer from growing with the total bytes ever seen.
+  if (start_ > 0) {
+    buffer_.erase(0, start_);
+    start_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+LineFramer::Result LineFramer::Next(std::string* line) {
+  if (poisoned_) return Result::kOversize;
+  size_t newline = buffer_.find('\n', start_);
+  if (newline == std::string::npos) {
+    if (max_line_bytes_ > 0 && buffered_bytes() > max_line_bytes_) {
+      poisoned_ = true;
+      return Result::kOversize;
+    }
+    return Result::kNeedMore;
+  }
+  size_t len = newline - start_;
+  // A complete line over the limit is as unserveable as a partial one.
+  if (max_line_bytes_ > 0 && len > max_line_bytes_) {
+    poisoned_ = true;
+    return Result::kOversize;
+  }
+  line->assign(buffer_, start_, len);
+  start_ = newline + 1;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return Result::kLine;
+}
+
+std::string OversizeFrame(size_t max_line_bytes) {
+  return StrCat("% error: request line exceeds ", max_line_bytes,
+                " bytes\n.\n");
+}
+
+}  // namespace chainsplit

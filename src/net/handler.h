@@ -1,0 +1,31 @@
+#ifndef CHAINSPLIT_NET_HANDLER_H_
+#define CHAINSPLIT_NET_HANDLER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace chainsplit {
+
+/// Per-connection application logic plugged into the epoll engine.
+/// The engine creates one handler per accepted connection (on the
+/// loop thread) and invokes HandleLine on a dispatcher worker — one
+/// line at a time per connection, never concurrently, so handlers
+/// need no internal locking.
+class LineHandler {
+ public:
+  virtual ~LineHandler() = default;
+
+  /// Bytes to send immediately on connect ("" for none).
+  virtual std::string Greeting() { return ""; }
+
+  /// Handles one request line, appending the response bytes to `*out`.
+  /// Returns false to close the connection once the response flushes.
+  virtual bool HandleLine(const std::string& line, std::string* out) = 0;
+};
+
+using LineHandlerFactory = std::function<std::unique_ptr<LineHandler>()>;
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_NET_HANDLER_H_

@@ -1,0 +1,25 @@
+#ifndef CHAINSPLIT_NET_LISTEN_H_
+#define CHAINSPLIT_NET_LISTEN_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace chainsplit {
+
+/// Opens an IPv4 listening socket bound to `addr`:`port` (dotted quad;
+/// port 0 picks an ephemeral port) with the given accept backlog.
+/// Returns the listening fd; the caller owns it.
+StatusOr<int> OpenListenSocket(const std::string& addr, int port,
+                               int backlog);
+
+/// The locally bound port of a listening socket (after an ephemeral
+/// bind).
+StatusOr<int> BoundPort(int listen_fd);
+
+/// Sets O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_NET_LISTEN_H_

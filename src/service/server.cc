@@ -1,20 +1,21 @@
 #include "service/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 #include "common/strings.h"
+#include "net/frame.h"
+#include "net/listen.h"
 
 namespace chainsplit {
 namespace {
 
-bool SendAll(int fd, const std::string& data) {
+bool SendAll(int fd, const std::string& data, NetCounters* counters) {
   size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
@@ -25,47 +26,76 @@ bool SendAll(int fd, const std::string& data) {
 #endif
     );
     if (n <= 0) return false;
+    counters->bytes_out.fetch_add(n, std::memory_order_relaxed);
     sent += static_cast<size_t>(n);
   }
   return true;
 }
 
+/// Adapts a Session to the epoll engine's per-connection handler.
+class SessionHandler : public LineHandler {
+ public:
+  SessionHandler(QueryService* service, const SessionOptions& options)
+      : session_(service, options) {}
+
+  std::string Greeting() override { return "% chainsplit ready\n.\n"; }
+
+  bool HandleLine(const std::string& line, std::string* out) override {
+    return session_.HandleLine(line, out);
+  }
+
+ private:
+  Session session_;
+};
+
 }  // namespace
 
-TcpServer::TcpServer(QueryService* service) : service_(service) {}
+TcpServer::TcpServer(QueryService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
 StatusOr<int> TcpServer::Start(int port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return InternalError(StrCat("socket: ", std::strerror(errno)));
+  CS_ASSIGN_OR_RETURN(
+      int listen_fd,
+      OpenListenSocket(options_.listen_addr, port, options_.listen_backlog));
+  StatusOr<int> bound = BoundPort(listen_fd);
+  if (!bound.ok()) {
+    ::close(listen_fd);
+    return bound.status();
   }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return InternalError(StrCat("bind: ", std::strerror(errno)));
+  port_ = *bound;
+  return options_.mode == ServerOptions::Mode::kEpoll
+             ? StartEpoll(listen_fd)
+             : StartThreaded(listen_fd);
+}
+
+StatusOr<int> TcpServer::StartEpoll(int listen_fd) {
+  SessionOptions session_options;
+  session_options.tcp_mode = true;
+  session_options.cancel = &shutdown_;
+  session_options.net = &counters_;
+  EngineOptions engine_options;
+  engine_options.queue_capacity = options_.queue_capacity;
+  engine_options.workers = options_.workers;
+  engine_options.max_line_bytes = options_.max_line_bytes;
+  QueryService* service = service_;
+  engine_ = std::make_unique<EpollEngine>(
+      [service, session_options] {
+        return std::make_unique<SessionHandler>(service, session_options);
+      },
+      engine_options, &counters_);
+  Status status = engine_->Start(listen_fd);
+  if (!status.ok()) {
+    engine_.reset();  // the engine closed listen_fd on the way out
+    return status;
   }
-  if (::listen(listen_fd_, 64) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return InternalError(StrCat("listen: ", std::strerror(errno)));
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return InternalError(StrCat("getsockname: ", std::strerror(errno)));
-  }
-  port_ = ntohs(addr.sin_port);
+  return port_;
+}
+
+StatusOr<int> TcpServer::StartThreaded(int listen_fd) {
+  listen_fd_ = listen_fd;
+  counters_.mode = "threaded";
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return port_;
 }
@@ -79,9 +109,12 @@ void TcpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listen socket closed
     }
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.active_connections.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) {
       ::close(fd);
+      counters_.active_connections.fetch_sub(1, std::memory_order_relaxed);
       return;
     }
     connections_.push_back(fd);
@@ -109,34 +142,39 @@ void TcpServer::ServeConnection(int fd,
   SessionOptions session_options;
   session_options.tcp_mode = true;
   session_options.cancel = &shutdown_;
+  session_options.net = &counters_;
   Session session(service_, session_options);
 
   std::string banner = "% chainsplit ready\n.\n";
-  if (SendAll(fd, banner)) {
-    std::string buffer;
+  if (SendAll(fd, banner, &counters_)) {
+    // The same framer as the epoll engine: CRLF handling, pipelined
+    // drain, and the max-line guard behave byte-identically.
+    LineFramer framer(options_.max_line_bytes);
     char chunk[4096];
+    std::string line;
     bool open = true;
     while (open) {
-      // Drain every complete buffered line before reading more,
-      // tracking a read offset and compacting the buffer once per
-      // drain — erasing the front per line is quadratic when a
-      // pipelined client sends many lines in one segment.
-      size_t start = 0;
-      size_t newline;
+      LineFramer::Result result = LineFramer::Result::kNeedMore;
       while (open &&
-             (newline = buffer.find('\n', start)) != std::string::npos) {
-        std::string line = buffer.substr(start, newline - start);
-        start = newline + 1;
-        if (!line.empty() && line.back() == '\r') line.pop_back();
+             (result = framer.Next(&line)) == LineFramer::Result::kLine) {
         std::string out;
         open = session.HandleLine(line, &out);
-        if (!out.empty() && !SendAll(fd, out)) open = false;
+        counters_.dispatched.fetch_add(1, std::memory_order_relaxed);
+        counters_.responses.fetch_add(1, std::memory_order_relaxed);
+        if (!out.empty() && !SendAll(fd, out, &counters_)) open = false;
       }
       if (!open) break;
-      buffer.erase(0, start);
+      if (result == LineFramer::Result::kOversize) {
+        // Reject the unframeable stream in-band, then close.
+        counters_.rejected_oversize.fetch_add(1, std::memory_order_relaxed);
+        counters_.responses.fetch_add(1, std::memory_order_relaxed);
+        SendAll(fd, OversizeFrame(framer.max_line_bytes()), &counters_);
+        break;
+      }
       ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
       if (n <= 0) break;  // client closed (or Stop() shut the socket down)
-      buffer.append(chunk, static_cast<size_t>(n));
+      counters_.bytes_in.fetch_add(n, std::memory_order_relaxed);
+      framer.Append(chunk, static_cast<size_t>(n));
     }
   }
   // Single exit path — a banner-send failure must run the same cleanup
@@ -149,6 +187,7 @@ void TcpServer::ServeConnection(int fd,
     connections_.erase(it);
     ::shutdown(fd, SHUT_RDWR);
     ::close(fd);
+    counters_.active_connections.fetch_sub(1, std::memory_order_relaxed);
   }
   // Park this thread's own handle for the accept loop to join. When
   // Stop() already took ownership (stopped_), the handle was spliced
@@ -165,12 +204,18 @@ int64_t TcpServer::tracked_connection_threads() {
 }
 
 void TcpServer::Stop() {
+  shutdown_.Cancel();
+  if (engine_ != nullptr) {
+    // Workers drain their in-flight (now cancelled) requests, then the
+    // loop exits and every connection fd is reclaimed.
+    engine_->Stop();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) return;
     stopped_ = true;
   }
-  shutdown_.Cancel();
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);

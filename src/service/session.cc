@@ -23,6 +23,7 @@ const char* Session::HelpText() {
       "  :deadline MS            per-query deadline (0 = none)\n"
       "  :preds                  list predicates with stored facts\n"
       "  :cache                  service cache/deadline counters\n"
+      "  :net                    network front-end counters\n"
       "  :quit                   exit\n";
 }
 
@@ -149,6 +150,27 @@ bool Session::HandleCommand(const std::string& line, std::string* out) {
                    "% compacted ", stats.compacted_relations, " relations (",
                    stats.compaction_blocks_before, " -> ",
                    stats.compaction_blocks_after, " posting blocks)\n");
+  } else if (cmd == ":net") {
+    const NetCounters* net = options_.net;
+    if (net == nullptr) {
+      *out += "% no network front end (REPL session)\n";
+    } else {
+      auto load = [](const std::atomic<int64_t>& v) {
+        return v.load(std::memory_order_relaxed);
+      };
+      *out += StrCat(
+          "% net mode ", net->mode, ": ", net->workers, " workers, queue ",
+          load(net->queue_depth), "/", net->queue_capacity, " (high ",
+          load(net->queue_high_watermark), ")\n",
+          "% conns: ", load(net->active_connections), " active, ",
+          load(net->accepted), " accepted\n",
+          "% requests: ", load(net->dispatched), " dispatched, ",
+          load(net->responses), " responses, ", load(net->rejected_overload),
+          " rejected overloaded, ", load(net->rejected_oversize),
+          " rejected oversize\n",
+          "% bytes: ", load(net->bytes_in), " in, ", load(net->bytes_out),
+          " out\n");
+    }
   } else {
     ++error_count_;
     *out += StrCat("unknown command ", cmd, " — :help\n");

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "net/net_counters.h"
 #include "service/query_service.h"
 
 namespace chainsplit {
@@ -25,6 +26,9 @@ struct SessionOptions {
   /// Chained into every request (the TCP server passes its shutdown
   /// token so Stop() cancels in-flight evaluations).
   const CancelToken* cancel = nullptr;
+  /// Front-end telemetry rendered by `:net`; the TCP server wires its
+  /// counters in, the plain REPL has none.
+  const NetCounters* net = nullptr;
 };
 
 class Session {

@@ -1,0 +1,131 @@
+// LineFramer: the byte-stream-to-request-line layer shared by both
+// TCP front ends. CRLF handling, frames split across recv boundaries,
+// pipelined frames in one segment, empty lines, oversize rejection.
+
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace chainsplit {
+namespace {
+
+using Result = LineFramer::Result;
+
+/// Feeds `data` in one Append and drains every complete line.
+std::vector<std::string> DrainAll(LineFramer* framer,
+                                  const std::string& data) {
+  framer->Append(data.data(), data.size());
+  std::vector<std::string> lines;
+  std::string line;
+  while (framer->Next(&line) == Result::kLine) lines.push_back(line);
+  return lines;
+}
+
+TEST(LineFramerTest, SingleLine) {
+  LineFramer framer;
+  EXPECT_EQ(DrainAll(&framer, "?- p(X).\n"),
+            (std::vector<std::string>{"?- p(X)."}));
+  std::string line;
+  EXPECT_EQ(framer.Next(&line), Result::kNeedMore);
+  EXPECT_EQ(framer.buffered_bytes(), 0u);
+}
+
+TEST(LineFramerTest, StripsCarriageReturn) {
+  LineFramer framer;
+  EXPECT_EQ(DrainAll(&framer, "p(a).\r\nq(b).\r\n"),
+            (std::vector<std::string>{"p(a).", "q(b)."}));
+}
+
+TEST(LineFramerTest, CarriageReturnOnlyInsideLineSurvives) {
+  LineFramer framer;
+  // Only the terminator's \r is protocol framing; interior bytes pass
+  // through untouched.
+  EXPECT_EQ(DrainAll(&framer, "a\rb\n"), (std::vector<std::string>{"a\rb"}));
+}
+
+TEST(LineFramerTest, FrameSplitAcrossArbitraryBoundaries) {
+  const std::string stream = "?- tc(a,\r\nY).\n\np(b).\n";
+  const std::vector<std::string> expected{"?- tc(a,", "Y).", "", "p(b)."};
+  // Every split position, including byte-by-byte, yields identical
+  // framing.
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    LineFramer framer;
+    std::vector<std::string> lines;
+    std::string line;
+    framer.Append(stream.data(), split);
+    while (framer.Next(&line) == Result::kLine) lines.push_back(line);
+    framer.Append(stream.data() + split, stream.size() - split);
+    while (framer.Next(&line) == Result::kLine) lines.push_back(line);
+    EXPECT_EQ(lines, expected) << "split at " << split;
+  }
+}
+
+TEST(LineFramerTest, ManyPipelinedFramesInOneSegment) {
+  LineFramer framer;
+  std::string burst;
+  for (int i = 0; i < 500; ++i) burst += "?- p(X).\n";
+  EXPECT_EQ(DrainAll(&framer, burst).size(), 500u);
+  EXPECT_EQ(framer.buffered_bytes(), 0u);
+}
+
+TEST(LineFramerTest, EmptyLinesAreLines) {
+  LineFramer framer;
+  EXPECT_EQ(DrainAll(&framer, "\n\r\n\n"),
+            (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(LineFramerTest, OversizeUnterminatedLineRejected) {
+  LineFramer framer(16);
+  std::string line;
+  std::string flood(17, 'x');  // no newline, over the limit
+  framer.Append(flood.data(), flood.size());
+  EXPECT_EQ(framer.Next(&line), Result::kOversize);
+  // Poisoned: the stream has no recoverable framing.
+  framer.Append("\np(a).\n", 7);
+  EXPECT_EQ(framer.Next(&line), Result::kOversize);
+}
+
+TEST(LineFramerTest, OversizeCompleteLineRejected) {
+  LineFramer framer(16);
+  std::string line;
+  std::string big = std::string(17, 'x') + "\np(a).\n";
+  framer.Append(big.data(), big.size());
+  EXPECT_EQ(framer.Next(&line), Result::kOversize);
+}
+
+TEST(LineFramerTest, LineExactlyAtLimitAccepted) {
+  LineFramer framer(16);
+  std::string data = std::string(16, 'x') + "\n";
+  EXPECT_EQ(DrainAll(&framer, data),
+            (std::vector<std::string>{std::string(16, 'x')}));
+}
+
+TEST(LineFramerTest, UnderLimitAccumulationNotRejected) {
+  LineFramer framer(16);
+  std::string line;
+  framer.Append("12345678", 8);  // under the limit, no newline yet
+  EXPECT_EQ(framer.Next(&line), Result::kNeedMore);
+  framer.Append("9\n", 2);
+  EXPECT_EQ(framer.Next(&line), Result::kLine);
+  EXPECT_EQ(line, "123456789");
+}
+
+TEST(LineFramerTest, ZeroMeansUnlimited) {
+  LineFramer framer(0);
+  std::string huge(1 << 20, 'x');
+  huge += "\n";
+  std::vector<std::string> lines = DrainAll(&framer, huge);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].size(), 1u << 20);
+}
+
+TEST(LineFramerTest, OversizeFrameNamesTheLimit) {
+  EXPECT_EQ(OversizeFrame(4096),
+            "% error: request line exceeds 4096 bytes\n.\n");
+}
+
+}  // namespace
+}  // namespace chainsplit

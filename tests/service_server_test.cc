@@ -1,5 +1,8 @@
 // TcpServer smoke test: real sockets on loopback, the csdd line
-// protocol, concurrent client connections, clean shutdown.
+// protocol, concurrent client connections, clean shutdown. This suite
+// pins the legacy thread-per-connection mode (its reaping invariants
+// are threaded-specific); tests/net_server_test.cc covers the epoll
+// mode and the threaded-vs-epoll differential.
 
 #include "service/server.h"
 
@@ -109,7 +112,9 @@ TEST(ServiceServerTest, ServesQueriesOverTcp) {
       "tc(A, B) :- edge(A, C), tc(C, B).\n");
   ASSERT_TRUE(seeded.status.ok());
 
-  TcpServer server(&service);
+  ServerOptions threaded;
+  threaded.mode = ServerOptions::Mode::kThreaded;
+  TcpServer server(&service, threaded);
   StatusOr<int> port = server.Start(0);  // ephemeral
   ASSERT_TRUE(port.ok()) << port.status();
   ASSERT_GT(*port, 0);
@@ -157,7 +162,9 @@ TEST(ServiceServerTest, ConcurrentClientsGetConsistentAnswers) {
   }
   ASSERT_TRUE(service.Update(text).status.ok());
 
-  TcpServer server(&service);
+  ServerOptions threaded;
+  threaded.mode = ServerOptions::Mode::kThreaded;
+  TcpServer server(&service, threaded);
   StatusOr<int> port = server.Start(0);
   ASSERT_TRUE(port.ok()) << port.status();
 
@@ -195,7 +202,9 @@ TEST(ServiceServerTest, ConcurrentClientsGetConsistentAnswers) {
 TEST(ServiceServerTest, ConnectionChurnLeaksNoFdsOrThreads) {
   QueryService service;
   ASSERT_TRUE(service.Update("p(a).").status.ok());
-  TcpServer server(&service);
+  ServerOptions threaded;
+  threaded.mode = ServerOptions::Mode::kThreaded;
+  TcpServer server(&service, threaded);
   StatusOr<int> port = server.Start(0);
   ASSERT_TRUE(port.ok()) << port.status();
 
@@ -257,7 +266,9 @@ TEST(ServiceServerTest, ConnectionChurnLeaksNoFdsOrThreads) {
 TEST(ServiceServerTest, PipelinedClientGetsOrderedResponses) {
   QueryService service;
   ASSERT_TRUE(service.Update("p(a).\np(b).\nq(c).\n").status.ok());
-  TcpServer server(&service);
+  ServerOptions threaded;
+  threaded.mode = ServerOptions::Mode::kThreaded;
+  TcpServer server(&service, threaded);
   StatusOr<int> port = server.Start(0);
   ASSERT_TRUE(port.ok()) << port.status();
 

@@ -1,7 +1,17 @@
 // csdd — an interactive shell and query server for the ChainSplit
 // deductive database.
 //
-//   $ csdd [--serve PORT] [program.dl ...]
+//   $ csdd [--serve PORT] [serving flags] [program.dl ...]
+//
+// Serving flags (apply to --serve and later :serve commands):
+//   --net-mode=epoll|threaded  front end: event loop + worker pool
+//                              (default) or thread-per-connection
+//   --listen-addr=ADDR         IPv4 bind address (default 127.0.0.1)
+//   --listen-backlog=N         accept backlog (default 64)
+//   --net-workers=N            dispatcher pool size (0 = auto)
+//   --net-queue=N              bounded request-queue capacity; overflow
+//                              answers "% overloaded" (default 256)
+//   --max-line=BYTES           request-line size limit (default 1 MiB)
 //
 // Loads each program file (facts, rules; queries in files run
 // immediately), then reads from stdin:
@@ -47,6 +57,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   int serve_port = -1;
+  ServerOptions server_options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -54,9 +65,36 @@ int Run(int argc, char** argv) {
       serve_port = std::atoi(argv[++i]);
     } else if (StartsWith(arg, "--serve=")) {
       serve_port = std::atoi(arg.c_str() + 8);
+    } else if (StartsWith(arg, "--net-mode=")) {
+      std::string mode = arg.substr(11);
+      if (mode == "epoll") {
+        server_options.mode = ServerOptions::Mode::kEpoll;
+      } else if (mode == "threaded") {
+        server_options.mode = ServerOptions::Mode::kThreaded;
+      } else {
+        std::printf("error: --net-mode must be epoll or threaded\n");
+        return 1;
+      }
+    } else if (StartsWith(arg, "--listen-addr=")) {
+      server_options.listen_addr = arg.substr(14);
+    } else if (StartsWith(arg, "--listen-backlog=")) {
+      server_options.listen_backlog = std::atoi(arg.c_str() + 17);
+    } else if (StartsWith(arg, "--net-workers=")) {
+      server_options.workers = std::atoi(arg.c_str() + 14);
+    } else if (StartsWith(arg, "--net-queue=")) {
+      server_options.queue_capacity =
+          static_cast<size_t>(std::atoll(arg.c_str() + 12));
+    } else if (StartsWith(arg, "--max-line=")) {
+      server_options.max_line_bytes =
+          static_cast<size_t>(std::atoll(arg.c_str() + 11));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: csdd [--serve PORT] [program.dl ...]\n%s",
-                  Session::HelpText());
+      std::printf(
+          "usage: csdd [--serve PORT] [--net-mode=epoll|threaded]\n"
+          "            [--listen-addr=ADDR] [--listen-backlog=N]\n"
+          "            [--net-workers=N] [--net-queue=N] "
+          "[--max-line=BYTES]\n"
+          "            [program.dl ...]\n%s",
+          Session::HelpText());
       return 0;
     } else {
       files.push_back(std::move(arg));
@@ -76,7 +114,7 @@ int Run(int argc, char** argv) {
 
   std::unique_ptr<TcpServer> server;
   if (serve_port >= 0) {
-    server = std::make_unique<TcpServer>(&service);
+    server = std::make_unique<TcpServer>(&service, server_options);
     StatusOr<int> port = server->Start(serve_port);
     if (!port.ok()) {
       std::printf("error: %s\n", port.status().ToString().c_str());
@@ -101,7 +139,7 @@ int Run(int argc, char** argv) {
         std::printf("%% already serving on port %d\n", server->port());
         continue;
       }
-      server = std::make_unique<TcpServer>(&service);
+      server = std::make_unique<TcpServer>(&service, server_options);
       StatusOr<int> port =
           server->Start(std::atoi(line.c_str() + 6));
       if (!port.ok()) {
