@@ -9,8 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -324,6 +327,67 @@ void NetRoundTrip(benchmark::State& state) {
   }
 }
 
+/// WAL overhead on an insert-only update stream: the same workload
+/// with durability off (arg 0) vs wal-sync=none/interval/always
+/// (args 1/2/3). Every update is one exclusive-lock mutation and one
+/// log record. Acceptance (docs/perf_notes.md): wal-sync=interval
+/// stays within ~10% of the no-WAL baseline; wal-sync=always pays one
+/// fsync per update and is expected to be much slower on real disks.
+void WalOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  constexpr int kUpdates = 256;
+  constexpr int kFactsPerUpdate = 8;  // a realistic batched insert
+  int round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         StrCat("cs_bench_wal_", ::getpid(), "_", mode, "_", round))
+            .string();
+    std::filesystem::remove_all(dir);
+    QueryService service;
+    if (mode > 0) {
+      DurabilityOptions durability;
+      durability.data_dir = dir;
+      durability.wal.sync = mode == 1   ? WalSyncPolicy::kNone
+                            : mode == 2 ? WalSyncPolicy::kInterval
+                                        : WalSyncPolicy::kAlways;
+      StatusOr<RecoveryResult> enabled = service.EnableDurability(durability);
+      CS_CHECK(enabled.ok()) << enabled.status();
+    }
+    state.ResumeTiming();
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kUpdates; ++i) {
+      std::string text;
+      for (int j = 0; j < kFactsPerUpdate; ++j) {
+        text += StrCat("edge(w", round, "x", i, "f", j, "a, w", round, "x",
+                       i, "f", j, "b).\n");
+      }
+      UpdateResponse r = service.Update(text);
+      CS_CHECK(r.status.ok()) << r.status;
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    state.PauseTiming();
+    state.counters["facts_per_s"] =
+        seconds > 0 ? kUpdates * kFactsPerUpdate / seconds : 0;
+    state.counters["wal_sync_mode"] = mode;
+    if (mode > 0) {
+      DurabilityStats dur = service.durability_stats();
+      state.counters["wal_records"] = static_cast<double>(dur.wal_records);
+      state.counters["wal_bytes"] = static_cast<double>(dur.wal_bytes);
+      state.counters["wal_syncs"] = static_cast<double>(dur.wal_syncs);
+    }
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+    ++round;
+  }
+}
+
 BENCHMARK(UncachedSingleThread)->Unit(benchmark::kMillisecond)->Iterations(3);
 BENCHMARK(UncachedClients)
     ->Unit(benchmark::kMillisecond)
@@ -346,6 +410,13 @@ BENCHMARK(NetRoundTrip)
     ->Arg(1)
     ->Arg(8)
     ->Iterations(3);
+BENCHMARK(WalOverhead)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Iterations(3);
 
 }  // namespace
 }  // namespace chainsplit
@@ -358,7 +429,10 @@ int main(int argc, char** argv) {
       "UncachedClients/N scales with cores (shared-lock overlay "
       "evaluation, no cache); MixedReadUpdate shows the cost of "
       "invalidating writes; NetRoundTrip adds the epoll front end's "
-      "framed-socket round trip on top of the cached path.\n\n");
+      "framed-socket round trip on top of the cached path; WalOverhead "
+      "compares the insert stream with durability off vs "
+      "wal-sync=none/interval/always (interval should stay within ~10%% "
+      "of off).\n\n");
   chainsplit::CheckCachedMatchesUncached();
   chainsplit::CheckOverlayMatchesExclusive();
   benchmark::Initialize(&argc, argv);

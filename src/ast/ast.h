@@ -65,6 +65,33 @@ class Program {
   const std::vector<Atom>& facts() const { return facts_; }
   const std::vector<Query>& queries() const { return queries_; }
 
+  /// Rollback support for transactional parsing: the parser appends
+  /// clauses as it goes, so a parse error mid-text leaves a half-applied
+  /// prefix behind. Callers that need all-or-nothing semantics (the
+  /// query service's Update, which must keep the program consistent
+  /// with its WAL) take a Marker first and RollbackTo it on failure.
+  /// Interned terms and predicates are not rolled back — interning is
+  /// idempotent and semantically inert.
+  struct Marker {
+    size_t rules = 0;
+    size_t facts = 0;
+    size_t queries = 0;
+  };
+  Marker Mark() const {
+    return Marker{rules_.size(), facts_.size(), queries_.size()};
+  }
+  void RollbackTo(const Marker& marker) {
+    rules_.resize(marker.rules);
+    facts_.resize(marker.facts);
+    queries_.resize(marker.queries);
+  }
+
+  /// All declared finiteness constraints (snapshot serialization).
+  const std::unordered_map<PredId, std::vector<std::string>>& finite_modes()
+      const {
+    return finite_modes_;
+  }
+
   /// Declares a finiteness constraint (§2.2 of the paper) for an IDB
   /// predicate: a call with (at least) the 'b' arguments of `adornment`
   /// bound has finitely many answers. EDB relations satisfy every mode

@@ -21,14 +21,13 @@ bool IsIntegerField(std::string_view field) {
 
 }  // namespace
 
-StatusOr<int64_t> LoadFactsFromString(Database* db, PredId pred,
-                                      std::string_view text,
-                                      const CsvOptions& options) {
+StatusOr<std::vector<Tuple>> ParseCsvTuples(Database* db, PredId pred,
+                                            std::string_view text,
+                                            const CsvOptions& options) {
   const int arity = db->program().preds().arity(pred);
-  Relation* relation = db->GetOrCreateRelation(pred);
   TermPool& pool = db->pool();
 
-  int64_t inserted = 0;
+  std::vector<Tuple> staged;
   int line_number = 0;
   for (std::string_view line_raw : StrSplit(text, '\n')) {
     ++line_number;
@@ -51,6 +50,23 @@ StatusOr<int64_t> LoadFactsFromString(Database* db, PredId pred,
         tuple.push_back(pool.MakeSymbol(field));
       }
     }
+    staged.push_back(std::move(tuple));
+  }
+  return staged;
+}
+
+StatusOr<int64_t> LoadFactsFromString(Database* db, PredId pred,
+                                      std::string_view text,
+                                      const CsvOptions& options) {
+  // Stage first, insert only after the whole text validated: a parse
+  // error anywhere leaves the relation exactly as it was.
+  CS_ASSIGN_OR_RETURN(std::vector<Tuple> staged,
+                      ParseCsvTuples(db, pred, text, options));
+  Relation* relation = db->GetOrCreateRelation(pred);
+  relation->Reserve(relation->num_rows() +
+                    static_cast<int64_t>(staged.size()));
+  int64_t inserted = 0;
+  for (const Tuple& tuple : staged) {
     if (relation->Insert(tuple)) ++inserted;
   }
   return inserted;

@@ -41,6 +41,180 @@ void QueryService::LruCache<V>::Erase(std::string_view key) {
 QueryService::QueryService(ServiceOptions options)
     : options_(std::move(options)) {}
 
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    stop_checkpointer_ = true;
+  }
+  checkpoint_cv_.notify_all();
+  if (checkpointer_.joinable()) checkpointer_.join();
+  // wal_'s destructor does a final best-effort fsync.
+}
+
+StatusOr<RecoveryResult> QueryService::EnableDurability(
+    const DurabilityOptions& options) {
+  if (wal_ != nullptr) {
+    return FailedPreconditionError("durability already enabled");
+  }
+  if (options.data_dir.empty()) {
+    return InvalidArgumentError("durability needs a data_dir");
+  }
+  durability_ = options;
+  CS_ASSIGN_OR_RETURN(
+      RecoveryResult recovered,
+      RecoverDatabase(options.data_dir, &db_,
+                      [this](const WalRecord& record) {
+                        return ApplyWalRecord(record);
+                      }));
+  recovery_ = recovered;
+  CS_ASSIGN_OR_RETURN(
+      wal_, Wal::Open(options.data_dir, recovered.last_lsn + 1, options.wal));
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    logged_lsn_ = recovered.last_lsn;
+    durable_snapshot_lsn_ = recovered.snapshot_lsn;
+  }
+  if (options.snapshot_every_records > 0) {
+    checkpointer_ = std::thread([this] { CheckpointerLoop(); });
+  }
+  return recovered;
+}
+
+Status QueryService::ApplyWalRecord(const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kUpdate: {
+      // Replay the exact deterministic apply path, minus the embedded
+      // queries (they mutate nothing and their answers went to a
+      // client long gone) and minus re-logging.
+      UpdateResponse response = UpdateInternal(
+          record.text, RequestOptions{}, /*log=*/false, /*run_queries=*/false);
+      return response.status;
+    }
+    case WalRecordType::kCsvLoad: {
+      StatusOr<int64_t> inserted =
+          LoadCsvContent(record.pred_name, record.arity, record.text,
+                         record.delimiter, /*log=*/false);
+      if (!inserted.ok()) return inserted.status();
+      return Status::Ok();
+    }
+  }
+  return InternalError(StrCat("unknown wal record type ",
+                              static_cast<int>(record.type)));
+}
+
+void QueryService::NoteLoggedRecord(uint64_t lsn) {
+  bool trigger = false;
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    logged_lsn_ = lsn;
+    trigger = durability_.snapshot_every_records > 0 &&
+              lsn >= durable_snapshot_lsn_ +
+                         static_cast<uint64_t>(
+                             durability_.snapshot_every_records);
+  }
+  if (trigger) checkpoint_cv_.notify_all();
+}
+
+void QueryService::CheckpointerLoop() {
+  std::unique_lock<std::mutex> lock(checkpoint_mu_);
+  const uint64_t every =
+      static_cast<uint64_t>(durability_.snapshot_every_records);
+  while (true) {
+    checkpoint_cv_.wait(lock, [&] {
+      return stop_checkpointer_ ||
+             logged_lsn_ >= durable_snapshot_lsn_ + every;
+    });
+    if (stop_checkpointer_) return;
+    lock.unlock();
+    Status status = Checkpoint(nullptr);  // failure recorded in stats
+    lock.lock();
+    if (!status.ok() && !stop_checkpointer_) {
+      // Do not spin on a persistently failing disk: wait for the next
+      // logged record (or shutdown) before retrying.
+      checkpoint_cv_.wait(lock);
+    }
+  }
+}
+
+Status QueryService::Checkpoint(SnapshotWriteStats* stats) {
+  if (wal_ == nullptr) {
+    return FailedPreconditionError("durability not enabled");
+  }
+  // Serialize checkpoints against each other; db_mu_ is acquired
+  // *inside* (never hold checkpoint_mu_ while waiting for db_mu_ —
+  // mutators take them in that order).
+  std::lock_guard<std::mutex> run_lock(snapshot_run_mu_);
+  SnapshotWriteStats local;
+  Status written;
+  uint64_t lsn = 0;
+  {
+    // Shared lock: queries keep flowing, mutation waits. No mutator
+    // can append to the WAL while we hold it, so last_lsn() is the
+    // exact horizon of the database state being serialized.
+    std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+    lsn = wal_->last_lsn();
+    written = WriteSnapshot(db_, lsn, durability_.data_dir, &local);
+  }
+  if (!written.ok()) {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    ++checkpoint_failures_;
+    last_checkpoint_error_ = written.message();
+    return written;
+  }
+  // The snapshot is durable: seal the current segment and drop the
+  // ones it fully covers. Failures here are cleanup failures, not
+  // durability failures — recovery handles leftover segments (their
+  // records are skipped as <= snapshot LSN), so report but don't
+  // unwind.
+  Status rotated = wal_->Rotate();
+  if (rotated.ok()) {
+    StatusOr<int> removed = wal_->DeleteSegmentsBelow(lsn + 1);
+    if (!removed.ok()) rotated = removed.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    durable_snapshot_lsn_ = lsn;
+    ++snapshots_written_;
+    if (!rotated.ok()) {
+      ++checkpoint_failures_;
+      last_checkpoint_error_ = rotated.message();
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return rotated;
+}
+
+Status QueryService::FlushWal() {
+  if (wal_ == nullptr) return Status::Ok();
+  return wal_->Sync();
+}
+
+DurabilityStats QueryService::durability_stats() const {
+  DurabilityStats out;
+  if (wal_ == nullptr) return out;
+  out.enabled = true;
+  out.sync = durability_.wal.sync;
+  out.data_dir = durability_.data_dir;
+  WalStats wal = wal_->stats();
+  out.last_lsn = wal.last_lsn;
+  out.wal_records = wal.records;
+  out.wal_bytes = wal.bytes;
+  out.wal_syncs = wal.syncs;
+  out.wal_segments_created = wal.segments_created;
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    out.snapshot_lsn = durable_snapshot_lsn_;
+    out.snapshots_written = snapshots_written_;
+    out.checkpoint_failures = checkpoint_failures_;
+    out.last_checkpoint_error = last_checkpoint_error_;
+  }
+  out.recovery_cold_start = recovery_.cold_start;
+  out.recovery_torn_tail = recovery_.torn_tail;
+  out.replayed_records = recovery_.replayed_records;
+  out.skipped_records = recovery_.skipped_records;
+  return out;
+}
+
 uint64_t QueryService::rules_epoch() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   return rules_epoch_;
@@ -380,19 +554,49 @@ Status QueryService::TestOnlyInjectPlanEntry(std::string_view query_text,
 
 UpdateResponse QueryService::Update(std::string_view text,
                                     const RequestOptions& request) {
+  return UpdateInternal(text, request, /*log=*/true, /*run_queries=*/true);
+}
+
+UpdateResponse QueryService::UpdateInternal(std::string_view text,
+                                            const RequestOptions& request,
+                                            bool log, bool run_queries) {
   UpdateResponse response;
   std::unique_lock<std::shared_mutex> db_lock(db_mu_);
   Program& program = db_.program();
-  const size_t facts_before = program.facts().size();
-  const size_t rules_before = program.rules().size();
-  const size_t queries_before = program.queries().size();
+  const Program::Marker marker = program.Mark();
+  const size_t facts_before = marker.facts;
+  const size_t rules_before = marker.rules;
+  const size_t queries_before = marker.queries;
 
   response.status = ParseProgram(text, &program);
-  {
+  if (log) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     ++stats_.updates;
   }
-  if (!response.status.ok()) return response;
+  if (!response.status.ok()) {
+    // The parser appends clauses as it goes: without this rollback a
+    // mid-text error would leave the valid prefix applied (rules
+    // visible without an epoch bump, facts never inserted) and — with
+    // durability on — applied-but-not-logged. All-or-nothing instead.
+    program.RollbackTo(marker);
+    return response;
+  }
+
+  if (log && wal_ != nullptr) {
+    // Validate → log → apply: the record hits the log only after the
+    // whole text parsed, and the mutation is applied only after the
+    // record is in the log. A WAL failure aborts the statement.
+    WalRecord record;
+    record.type = WalRecordType::kUpdate;
+    record.text = std::string(text);
+    StatusOr<uint64_t> lsn = wal_->Append(std::move(record));
+    if (!lsn.ok()) {
+      program.RollbackTo(marker);
+      response.status = lsn.status();
+      return response;
+    }
+    NoteLoggedRecord(*lsn);
+  }
 
   for (size_t i = facts_before; i < program.facts().size(); ++i) {
     const Atom& fact = program.facts()[i];
@@ -411,7 +615,8 @@ UpdateResponse QueryService::Update(std::string_view text,
     result_cache_.Clear();
     plan_cache_.Clear();
   }
-  for (size_t i = queries_before; i < program.queries().size(); ++i) {
+  for (size_t i = queries_before; run_queries && i < program.queries().size();
+       ++i) {
     const ::chainsplit::Query& query = program.queries()[i];
     // Embedded queries run through an overlay too (still under the
     // exclusive lock we already hold): the base never accumulates
@@ -448,13 +653,52 @@ UpdateResponse QueryService::LoadFile(const std::string& path,
 
 StatusOr<int64_t> QueryService::LoadCsv(const std::string& name, int arity,
                                         const std::string& path) {
+  // Read the file outside the lock; the WAL stores the *content* (a
+  // path may have moved or vanished by recovery time).
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError(StrCat("cannot open ", path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadCsvContent(name, arity, buffer.str(), /*delimiter=*/',',
+                        /*log=*/true);
+}
+
+StatusOr<int64_t> QueryService::LoadCsvContent(const std::string& name,
+                                               int arity,
+                                               std::string_view content,
+                                               char delimiter, bool log) {
   std::unique_lock<std::shared_mutex> db_lock(db_mu_);
-  {
+  if (log) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     ++stats_.updates;
   }
   PredId pred = db_.program().InternPred(name, arity);
-  return LoadFactsFromFile(&db_, pred, path);
+  CsvOptions options;
+  options.delimiter = delimiter;
+  // Stage the whole file before touching the relation: a malformed
+  // line 10,000 leaves the database exactly as it was (failure-atomic),
+  // and the WAL record — one per load, appended only after staging
+  // succeeded — is all-or-nothing with it.
+  CS_ASSIGN_OR_RETURN(std::vector<Tuple> staged,
+                      ParseCsvTuples(&db_, pred, content, options));
+  if (log && wal_ != nullptr) {
+    WalRecord record;
+    record.type = WalRecordType::kCsvLoad;
+    record.text = std::string(content);
+    record.pred_name = name;
+    record.arity = arity;
+    record.delimiter = delimiter;
+    StatusOr<uint64_t> lsn = wal_->Append(std::move(record));
+    if (!lsn.ok()) return lsn.status();
+    NoteLoggedRecord(*lsn);
+  }
+  Relation* relation = db_.GetOrCreateRelation(pred);
+  relation->Reserve(relation->num_rows() + static_cast<int64_t>(staged.size()));
+  int64_t inserted = 0;
+  for (const Tuple& tuple : staged) {
+    if (relation->Insert(tuple)) ++inserted;
+  }
+  return inserted;
 }
 
 std::vector<std::pair<std::string, int64_t>> QueryService::ListPredicates() {

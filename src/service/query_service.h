@@ -2,10 +2,12 @@
 #define CHAINSPLIT_SERVICE_QUERY_SERVICE_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,6 +20,9 @@
 #include "core/plan_signature.h"
 #include "core/planner.h"
 #include "rel/catalog.h"
+#include "storage/recovery.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
 
 namespace chainsplit {
 
@@ -123,6 +128,41 @@ struct UpdateResponse {
   std::vector<QueryResponse> query_responses;
 };
 
+/// Durability configuration (EnableDurability). With an empty data_dir
+/// the service is purely in-memory, exactly as before.
+struct DurabilityOptions {
+  /// Directory for WAL segments and snapshots; created if missing.
+  std::string data_dir;
+  /// WAL fsync policy + interval (docs/service.md §Durability).
+  WalOptions wal;
+  /// Auto-checkpoint after this many logged records since the last
+  /// snapshot (0 = only explicit Checkpoint()/`:snapshot` calls).
+  int64_t snapshot_every_records = 0;
+};
+
+/// Point-in-time durability telemetry (`:wal` in the session protocol).
+struct DurabilityStats {
+  bool enabled = false;
+  WalSyncPolicy sync = WalSyncPolicy::kInterval;
+  std::string data_dir;
+  /// Highest LSN appended (0 = nothing logged yet).
+  uint64_t last_lsn = 0;
+  /// LSN of the newest durable snapshot (0 = none).
+  uint64_t snapshot_lsn = 0;
+  int64_t wal_records = 0;
+  int64_t wal_bytes = 0;
+  int64_t wal_syncs = 0;
+  int64_t wal_segments_created = 0;
+  int64_t snapshots_written = 0;
+  int64_t checkpoint_failures = 0;
+  std::string last_checkpoint_error;
+  /// Recovery summary, fixed at EnableDurability time.
+  bool recovery_cold_start = true;
+  bool recovery_torn_tail = false;
+  int64_t replayed_records = 0;
+  int64_t skipped_records = 0;
+};
+
 /// Service-wide counters (monotone; read with stats()).
 struct ServiceStats {
   int64_t queries = 0;
@@ -158,6 +198,28 @@ class QueryService {
   explicit QueryService(ServiceOptions options = {});
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
+  ~QueryService();
+
+  /// Turns on write-ahead logging + snapshot recovery over
+  /// `options.data_dir`: recovers the database from the newest valid
+  /// snapshot plus the WAL tail, then opens a fresh WAL segment so
+  /// every later mutation is logged before it is applied. Must be
+  /// called before the service starts serving concurrently (like db(),
+  /// this is a single-threaded setup call); calling it twice is an
+  /// error. Returns the recovery summary.
+  StatusOr<RecoveryResult> EnableDurability(const DurabilityOptions& options);
+
+  /// Writes a snapshot at the current WAL horizon, rotates the log and
+  /// deletes segments the snapshot covers. Runs under the *shared*
+  /// database lock (queries keep flowing; mutations wait). Safe to call
+  /// concurrently — checkpoints serialize among themselves.
+  Status Checkpoint(SnapshotWriteStats* stats = nullptr);
+
+  /// Fsyncs the WAL (graceful-shutdown path). No-op when durability is
+  /// off.
+  Status FlushWal();
+
+  DurabilityStats durability_stats() const;
 
   /// The underlying database. Unsynchronized — only for single-threaded
   /// setup (seeding facts before serving) and tests.
@@ -277,6 +339,28 @@ class QueryService {
       const std::vector<PredId>& preds);
   void CountStatus(const Status& status);
 
+  /// The one mutation path behind Update() and WAL replay. Discipline:
+  /// validate (parse with rollback) → log → apply, so the applied
+  /// prefix and the logged prefix are identical by construction. `log`
+  /// is false only on replay (the record is already in the log);
+  /// replay also skips embedded queries (`run_queries`) and the
+  /// user-facing stats counters.
+  UpdateResponse UpdateInternal(std::string_view text,
+                                const RequestOptions& request, bool log,
+                                bool run_queries);
+  /// Same for CSV loads: stage-parse the whole content, log it, then
+  /// insert. `content` is the file's bytes (the WAL stores content, not
+  /// paths).
+  StatusOr<int64_t> LoadCsvContent(const std::string& name, int arity,
+                                   std::string_view content, char delimiter,
+                                   bool log);
+  /// Replays one recovered WAL record through the paths above.
+  Status ApplyWalRecord(const WalRecord& record);
+  /// Bumps the auto-checkpoint trigger after a record was logged.
+  /// Caller holds db_mu_ exclusive.
+  void NoteLoggedRecord(uint64_t lsn);
+  void CheckpointerLoop();
+
   const ServiceOptions options_;
   Database db_;
 
@@ -301,6 +385,32 @@ class QueryService {
   bool rectified_valid_ = false;
   std::unordered_set<PredId> read_mostly_;
   ServiceStats stats_;
+
+  // Durability (all null/zero until EnableDurability).
+  //
+  // wal_ is set once during single-threaded setup and never reset, so
+  // the null-check on the mutation paths is race-free; Append calls
+  // additionally run under db_mu_ exclusive, which is what makes LSN
+  // order equal apply order. Lock order: db_mu_ → checkpoint_mu_;
+  // Checkpoint() therefore never holds checkpoint_mu_ while waiting
+  // for db_mu_.
+  DurabilityOptions durability_;
+  std::unique_ptr<Wal> wal_;
+  RecoveryResult recovery_;
+  /// Serializes whole checkpoints against each other (never held while
+  /// waiting for db_mu_... it is taken first, and the shared db lock is
+  /// acquired inside).
+  std::mutex snapshot_run_mu_;
+  /// Guards the checkpoint trigger state + durability counters below.
+  mutable std::mutex checkpoint_mu_;
+  std::condition_variable checkpoint_cv_;
+  std::thread checkpointer_;
+  bool stop_checkpointer_ = false;
+  uint64_t logged_lsn_ = 0;            // newest appended LSN
+  uint64_t durable_snapshot_lsn_ = 0;  // newest snapshot's LSN
+  int64_t snapshots_written_ = 0;
+  int64_t checkpoint_failures_ = 0;
+  std::string last_checkpoint_error_;
 };
 
 }  // namespace chainsplit

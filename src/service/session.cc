@@ -24,6 +24,8 @@ const char* Session::HelpText() {
       "  :preds                  list predicates with stored facts\n"
       "  :cache                  service cache/deadline counters\n"
       "  :net                    network front-end counters\n"
+      "  :snapshot               write a snapshot, truncate the WAL\n"
+      "  :wal                    durability counters (WAL/snapshots)\n"
       "  :quit                   exit\n";
 }
 
@@ -150,6 +152,38 @@ bool Session::HandleCommand(const std::string& line, std::string* out) {
                    "% compacted ", stats.compacted_relations, " relations (",
                    stats.compaction_blocks_before, " -> ",
                    stats.compaction_blocks_after, " posting blocks)\n");
+  } else if (cmd == ":snapshot") {
+    SnapshotWriteStats snap;
+    Status status = service_->Checkpoint(&snap);
+    if (!status.ok()) {
+      ++error_count_;
+      *out += StrCat("error: ", status.ToString(), "\n");
+    } else {
+      *out += StrCat("% snapshot at lsn ", snap.lsn, " (", snap.bytes,
+                     " bytes) -> ", snap.path, "\n");
+    }
+  } else if (cmd == ":wal") {
+    DurabilityStats dur = service_->durability_stats();
+    if (!dur.enabled) {
+      *out += "% durability off (start with --data-dir=DIR)\n";
+    } else {
+      *out += StrCat(
+          "% wal ", dur.data_dir, " sync=", WalSyncPolicyToString(dur.sync),
+          ": ", dur.wal_records, " records, ", dur.wal_bytes, " bytes, ",
+          dur.wal_syncs, " fsyncs, ", dur.wal_segments_created,
+          " segments, last lsn ", dur.last_lsn, "\n",
+          "% snapshots: ", dur.snapshots_written, " written, newest lsn ",
+          dur.snapshot_lsn, ", ", dur.checkpoint_failures, " failures",
+          dur.last_checkpoint_error.empty()
+              ? std::string()
+              : StrCat(" (last: ", dur.last_checkpoint_error, ")"),
+          "\n",
+          "% recovery: ",
+          dur.recovery_cold_start ? "cold start" : "recovered", ", ",
+          dur.replayed_records, " replayed, ", dur.skipped_records,
+          " skipped", dur.recovery_torn_tail ? ", torn tail dropped" : "",
+          "\n");
+    }
   } else if (cmd == ":net") {
     const NetCounters* net = options_.net;
     if (net == nullptr) {

@@ -1,0 +1,23 @@
+#ifndef CHAINSPLIT_STORAGE_CRC32_H_
+#define CHAINSPLIT_STORAGE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace chainsplit {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/ethernet one). Every durable
+/// frame — WAL records and snapshot payloads — carries one of these so
+/// a bit flip anywhere in the payload is detected before replay. The
+/// `seed` parameter chains partial computations:
+///   Crc32(b, nb, Crc32(a, na)) == Crc32(ab, na + nb).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_STORAGE_CRC32_H_

@@ -1,0 +1,62 @@
+#ifndef CHAINSPLIT_STORAGE_RECOVERY_H_
+#define CHAINSPLIT_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/catalog.h"
+#include "storage/log_record.h"
+
+namespace chainsplit {
+
+/// Startup recovery: newest valid snapshot + WAL tail replay.
+///
+/// The procedure (docs/service.md §Durability):
+///   1. create the data directory if missing (first boot);
+///   2. load the newest snapshot whose CRC verifies, falling back to
+///      older ones past bit-flipped files (cold start when none);
+///   3. scan every WAL segment in LSN order, skip records the snapshot
+///      already covers, apply the rest through `apply`;
+///   4. tolerate a torn final record (crash mid-write) but refuse a
+///      checksum hole in the middle of the log — recovery never skips a
+///      record and silently applies later ones.
+/// LSNs must be strictly consecutive across segments; a gap means a
+/// segment went missing and recovery fails loudly rather than serve
+/// partial history.
+
+struct RecoveryResult {
+  /// True when neither a snapshot nor any WAL record was found.
+  bool cold_start = true;
+  /// LSN of the loaded snapshot (0 when none).
+  uint64_t snapshot_lsn = 0;
+  std::string snapshot_path;
+  /// Highest LSN seen anywhere (snapshot or log); the WAL resumes at
+  /// last_lsn + 1.
+  uint64_t last_lsn = 0;
+  /// Records re-applied from the log.
+  int64_t replayed_records = 0;
+  /// Records skipped because the snapshot already covered them.
+  int64_t skipped_records = 0;
+  /// A torn final record was dropped (crash mid-append).
+  bool torn_tail = false;
+  /// Human-readable trail: skipped snapshots, torn-tail details.
+  std::vector<std::string> notes;
+};
+
+/// Applies one logged mutation to the database being recovered. The
+/// service supplies its replay path (Update text without embedded
+/// queries / staged CSV load); errors abort recovery.
+using WalApplyFn = std::function<Status(const WalRecord&)>;
+
+/// Recovers `*db` (freshly constructed) from `dir`, creating the
+/// directory on first use. Returns how far the timeline went so the
+/// caller can open the WAL at last_lsn + 1.
+StatusOr<RecoveryResult> RecoverDatabase(const std::string& dir, Database* db,
+                                         const WalApplyFn& apply);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_STORAGE_RECOVERY_H_

@@ -1,0 +1,76 @@
+#ifndef CHAINSPLIT_STORAGE_SNAPSHOT_H_
+#define CHAINSPLIT_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/catalog.h"
+
+namespace chainsplit {
+
+/// Point-in-time serialization of a whole Database — term pool,
+/// predicate table, rules, program facts, finiteness declarations and
+/// every stored relation (raw arena rows) — to a single CRC-checked
+/// file `snap-<16-hex lsn>.css` in the data directory.
+///
+/// The recorded LSN is the last WAL record the snapshot includes:
+/// recovery loads the snapshot and replays only records with a higher
+/// LSN. Durability discipline: write to a `.tmp` sibling, fsync it,
+/// rename over the final name, fsync the directory — a crash leaves
+/// either the old set of snapshots or the old set plus a complete new
+/// one, never a half-written file under the real name (stray `.tmp`
+/// files are ignored by recovery and cleaned up by the next write).
+///
+/// Reading a snapshot only needs the const surface of Database; writing
+/// one therefore runs safely under the service's *shared* lock (no
+/// relation or rule can change, and the term/predicate arenas are
+/// append-only, so serializing the first N entries is race-free even
+/// with concurrent queries interning new terms).
+
+struct SnapshotWriteStats {
+  uint64_t lsn = 0;
+  int64_t bytes = 0;
+  std::string path;
+};
+
+Status WriteSnapshot(const Database& db, uint64_t lsn, const std::string& dir,
+                     SnapshotWriteStats* stats);
+
+/// One snapshot file found in a data directory.
+struct SnapshotFile {
+  uint64_t lsn = 0;
+  std::string path;
+};
+
+/// Snapshots of `dir`, sorted ascending by LSN.
+std::vector<SnapshotFile> ListSnapshots(const std::string& dir);
+
+struct SnapshotLoadResult {
+  /// False when the directory holds no (valid) snapshot — a cold start
+  /// from an empty database plus whatever the WAL replays.
+  bool loaded = false;
+  uint64_t lsn = 0;
+  std::string path;
+  /// One line per snapshot that failed its CRC/format check and was
+  /// skipped in favor of an older one.
+  std::vector<std::string> notes;
+};
+
+/// Loads the newest structurally valid snapshot of `dir` into `*db`
+/// (which must be freshly constructed). A snapshot failing its CRC or
+/// framing check is skipped with a note and the next older one is
+/// tried; corruption is only fatal when a snapshot passes the CRC but
+/// decodes inconsistently (which indicates a bug, not a bit flip — the
+/// database may be half-populated at that point, so startup must
+/// abort rather than serve from it).
+StatusOr<SnapshotLoadResult> LoadNewestSnapshot(const std::string& dir,
+                                                Database* db);
+
+/// Decodes one snapshot file into `*db` (fresh). Exposed for tests.
+StatusOr<uint64_t> LoadSnapshotFile(const std::string& path, Database* db);
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_STORAGE_SNAPSHOT_H_

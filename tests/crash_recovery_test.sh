@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end crash recovery: every update acknowledged under
+# --wal-sync=always must survive kill -9, and the restarted process
+# must answer queries byte-for-byte identically to a run that was
+# never interrupted.
+#
+# Usage: crash_recovery_test.sh /path/to/csdd
+#
+# Shape:
+#   1. Reference run: program + :csv bulk load + a fact, clean :quit;
+#      then a fresh process on the same --data-dir answers the probe
+#      query — that output is the reference.
+#   2. Crash run: the SAME updates fed through a fifo to a second data
+#      dir. A marker query at the end doubles as an acknowledgment
+#      barrier: once its answer appears on stdout, every preceding
+#      update has been applied AND fsynced (wal-sync=always). Then
+#      SIGKILL — no flush, no destructor, no goodbye.
+#   3. The restarted process on the crashed dir must print the same
+#      answers as the reference (recovery banners, which embed the
+#      data-dir path, are stripped; answer lines never start with %).
+set -u
+
+CSDD="${1:?usage: crash_recovery_test.sh /path/to/csdd}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/cs_crash_XXXXXX")"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+printf 'a,b\nb,c\nc,d\n' > "$WORK/edges.csv"
+
+PROGRAM='tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).'
+PROBE='?- tc(a, Y).'
+
+# --- 1. Uninterrupted reference run.
+printf '%s\n:csv edge/2 %s\nmarker(1).\n:quit\n' \
+    "$PROGRAM" "$WORK/edges.csv" \
+  | "$CSDD" --data-dir="$WORK/ref" --wal-sync=always > /dev/null \
+  || fail "reference load run exited nonzero"
+printf '%s\n?- marker(X).\n:quit\n' "$PROBE" \
+  | "$CSDD" --data-dir="$WORK/ref" \
+  | grep -v '^%' > "$WORK/ref.out" \
+  || fail "reference probe run exited nonzero"
+grep -q 'Y = d' "$WORK/ref.out" || fail "reference answers incomplete"
+
+# --- 2. Crash run: same updates, fifo keeps stdin open, kill -9 after
+#        the marker answer proves everything is acknowledged.
+mkfifo "$WORK/in"
+"$CSDD" --data-dir="$WORK/crash" --wal-sync=always \
+    < "$WORK/in" > "$WORK/session.out" 2>&1 &
+pid=$!
+exec 3> "$WORK/in"
+printf '%s\n:csv edge/2 %s\nmarker(1).\n?- marker(X).\n' \
+    "$PROGRAM" "$WORK/edges.csv" >&3
+
+acked=""
+for _ in $(seq 1 150); do
+  if grep -q 'X = 1' "$WORK/session.out"; then acked=yes; break; fi
+  kill -0 "$pid" 2>/dev/null || fail "csdd died before acknowledging"
+  sleep 0.1
+done
+[ -n "$acked" ] || fail "marker query never answered: $(cat "$WORK/session.out")"
+
+kill -9 "$pid"
+wait "$pid" 2>/dev/null
+pid=""
+exec 3>&-
+
+# --- 3. Restart on the crashed dir: byte-for-byte identical answers.
+printf '%s\n?- marker(X).\n:quit\n' "$PROBE" \
+  | "$CSDD" --data-dir="$WORK/crash" \
+  | grep -v '^%' > "$WORK/crash.out" \
+  || fail "post-crash run exited nonzero"
+
+if ! cmp -s "$WORK/ref.out" "$WORK/crash.out"; then
+  echo "FAIL: post-crash answers diverge from uninterrupted run" >&2
+  diff "$WORK/ref.out" "$WORK/crash.out" >&2
+  exit 1
+fi
+echo "PASS: acknowledged updates survived kill -9"

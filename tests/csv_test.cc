@@ -53,6 +53,31 @@ TEST(CsvTest, ArityMismatchReportsLine) {
   EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
 }
 
+TEST(CsvTest, FailedLoadIsAllOrNothing) {
+  // The whole file is staged and validated before the first insert, so
+  // an error on line 3 must not leave lines 1-2 behind — the durable
+  // WAL records a load only after it fully succeeds, and replay
+  // re-runs this same path (docs/service.md §Durability).
+  Database db;
+  PredId e = db.program().InternPred("e", 2);
+  ASSERT_TRUE(LoadFactsFromString(&db, e, "x,y\n").ok());
+  const Relation* rel = db.GetRelation(e);
+  ASSERT_NE(rel, nullptr);
+  const uint64_t version_before = rel->version();
+
+  auto rejected = LoadFactsFromString(&db, e, "a,b\nc,d\nbad_line\n");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(rel->num_rows(), 1);                // only x,y
+  EXPECT_EQ(rel->version(), version_before);    // no partial insert
+
+  // Staging alone never mutates the relation.
+  auto staged = ParseCsvTuples(&db, e, "p,q\nr,s\n", CsvOptions());
+  ASSERT_TRUE(staged.ok()) << staged.status();
+  EXPECT_EQ(staged->size(), 2u);
+  EXPECT_EQ(rel->num_rows(), 1);
+}
+
 TEST(CsvTest, CustomDelimiterAndCrlf) {
   Database db;
   PredId e = db.program().InternPred("e", 2);

@@ -1,0 +1,383 @@
+// QueryService durability: WAL + snapshot recovery at the service
+// level — restart roundtrips, checkpoint + tail replay, the
+// auto-checkpointer, failure-atomic updates/CSV loads, torn-tail and
+// corruption handling, and the applied-prefix == logged-prefix
+// invariant of Update error paths.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "service/query_service.h"
+#include "storage/wal.h"
+
+namespace chainsplit {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServiceDurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            StrCat("cs_dur_test_", ::getpid(), "_",
+                   ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  DurabilityOptions Options(WalSyncPolicy sync = WalSyncPolicy::kNone) {
+    DurabilityOptions options;
+    options.data_dir = dir_;
+    options.wal.sync = sync;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+std::string Flatten(const QueryResponse& response) {
+  std::string flat;
+  for (const std::string& var : response.vars) flat += var + "|";
+  for (const std::vector<std::string>& row : response.rows) {
+    flat += StrJoin(row, ",");
+    flat += ";";
+  }
+  return flat;
+}
+
+constexpr const char* kTc =
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- edge(X, Z), tc(Z, Y).\n";
+
+TEST_F(ServiceDurabilityTest, RestartRecoversUpdatesByteForByte) {
+  std::string before;
+  {
+    QueryService service;
+    ASSERT_TRUE(service.EnableDurability(Options()).ok());
+    ASSERT_TRUE(service.Update(kTc).status.ok());
+    ASSERT_TRUE(service.Update("edge(a, b). edge(b, c).").status.ok());
+    ASSERT_TRUE(service.Update("edge(c, d).").status.ok());
+    before = Flatten(service.Query("?- tc(a, Y)."));
+    ASSERT_NE(before.find("d"), std::string::npos);
+  }  // destructor flushes the WAL
+
+  QueryService reborn;
+  StatusOr<RecoveryResult> recovered = reborn.EnableDurability(Options());
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(recovered->cold_start);
+  EXPECT_EQ(recovered->replayed_records, 3);
+  EXPECT_EQ(recovered->last_lsn, 3u);
+  EXPECT_EQ(Flatten(reborn.Query("?- tc(a, Y).")), before);
+}
+
+TEST_F(ServiceDurabilityTest, CheckpointThenTailReplay) {
+  std::string before;
+  {
+    QueryService service;
+    ASSERT_TRUE(service.EnableDurability(Options()).ok());
+    ASSERT_TRUE(service.Update(kTc).status.ok());
+    ASSERT_TRUE(service.Update("edge(a, b).").status.ok());
+    SnapshotWriteStats snap;
+    ASSERT_TRUE(service.Checkpoint(&snap).ok());
+    EXPECT_EQ(snap.lsn, 2u);
+    // Two more records after the snapshot: the recovery tail.
+    ASSERT_TRUE(service.Update("edge(b, c).").status.ok());
+    ASSERT_TRUE(service.Update("edge(c, d).").status.ok());
+    before = Flatten(service.Query("?- tc(a, Y)."));
+
+    DurabilityStats dur = service.durability_stats();
+    EXPECT_EQ(dur.snapshot_lsn, 2u);
+    EXPECT_EQ(dur.snapshots_written, 1);
+    EXPECT_EQ(dur.last_lsn, 4u);
+  }
+
+  QueryService reborn;
+  StatusOr<RecoveryResult> recovered = reborn.EnableDurability(Options());
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->snapshot_lsn, 2u);
+  EXPECT_EQ(recovered->replayed_records, 2);  // only the tail
+  EXPECT_EQ(recovered->skipped_records, 0);   // covered segments deleted
+  EXPECT_EQ(recovered->last_lsn, 4u);
+  EXPECT_EQ(Flatten(reborn.Query("?- tc(a, Y).")), before);
+}
+
+TEST_F(ServiceDurabilityTest, AutoCheckpointerTriggersOnRecordCount) {
+  QueryService service;
+  DurabilityOptions options = Options();
+  options.snapshot_every_records = 5;
+  ASSERT_TRUE(service.EnableDurability(options).ok());
+  // Two batches with a poll between them: the checkpointer is
+  // asynchronous, so a single burst of 12 updates could coalesce into
+  // one checkpoint taken at the final LSN.
+  DurabilityStats dur;
+  for (int batch = 1; batch <= 2; ++batch) {
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(
+          service.Update(StrCat("p(a", batch, "x", i, ").")).status.ok());
+    }
+    for (int spin = 0; spin < 500; ++spin) {
+      dur = service.durability_stats();
+      if (dur.snapshots_written >= batch) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(dur.snapshots_written, batch);
+  }
+  EXPECT_GE(dur.snapshot_lsn, 5u);
+  EXPECT_EQ(dur.checkpoint_failures, 0) << dur.last_checkpoint_error;
+}
+
+TEST_F(ServiceDurabilityTest, UpdateParseErrorIsAllOrNothing) {
+  QueryService service;
+  ASSERT_TRUE(service.EnableDurability(Options()).ok());
+  ASSERT_TRUE(service.Update("p(a). q(X) :- p(X).").status.ok());
+  const uint64_t epoch_before = service.rules_epoch();
+  const int64_t wal_records_before = service.durability_stats().wal_records;
+  const size_t rules_before = service.db().program().rules().size();
+  const Relation* p_rel =
+      service.db().GetRelation(*service.db().program().preds().Find("p", 1));
+  ASSERT_NE(p_rel, nullptr);
+  const uint64_t p_version_before = p_rel->version();
+
+  // Valid prefix (a fact AND a rule), then a syntax error: nothing may
+  // stick — not the fact, not the rule, not an epoch bump, and no WAL
+  // record (applied prefix == logged prefix).
+  UpdateResponse failed =
+      service.Update("p(b). r(X) :- p(X). r(");  // unclosed paren
+  EXPECT_FALSE(failed.status.ok());
+  EXPECT_EQ(service.rules_epoch(), epoch_before);
+  EXPECT_EQ(service.durability_stats().wal_records, wal_records_before);
+  EXPECT_EQ(service.db().program().rules().size(), rules_before);
+  EXPECT_EQ(p_rel->version(), p_version_before);
+  EXPECT_EQ(Flatten(service.Query("?- p(X).")), "X|a;");
+
+  // And the log replays to the same consistent state.
+  std::string before = Flatten(service.Query("?- q(X)."));
+  QueryService reborn;
+  ASSERT_TRUE(reborn.EnableDurability(Options()).ok());
+  EXPECT_EQ(Flatten(reborn.Query("?- q(X).")), before);
+  EXPECT_EQ(reborn.db().program().rules().size(), rules_before);
+}
+
+TEST_F(ServiceDurabilityTest, CsvLoadIsFailureAtomicAndLogged) {
+  QueryService service;
+  ASSERT_TRUE(service.EnableDurability(Options()).ok());
+
+  std::string good = dir_ + "_good.csv";
+  std::string bad = dir_ + "_bad.csv";
+  {
+    std::ofstream out(good);
+    out << "Alice,30\nBob,40\n";
+  }
+  {
+    std::ofstream out(bad);
+    out << "Carol,50\nbroken_line_with_one_field\n";
+  }
+
+  StatusOr<int64_t> loaded = service.LoadCsv("person", 2, good);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, 2);
+  const int64_t wal_after_good = service.durability_stats().wal_records;
+  const std::string good_state = Flatten(service.Query("?- person(X, Y)."));
+  EXPECT_NE(good_state.find("Alice"), std::string::npos);
+  EXPECT_NE(good_state.find("Bob"), std::string::npos);
+
+  // The bad file fails on line 2: line 1 must NOT be applied, and no
+  // WAL record may exist for the load.
+  StatusOr<int64_t> rejected = service.LoadCsv("person", 2, bad);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(service.durability_stats().wal_records, wal_after_good);
+  EXPECT_EQ(Flatten(service.Query("?- person(X, Y).")), good_state);
+  EXPECT_EQ(good_state.find("Carol"), std::string::npos);
+  ::unlink(good.c_str());
+  ::unlink(bad.c_str());
+
+  // Replay restores the CSV facts from the log (content, not path: the
+  // files are gone).
+  QueryService reborn;
+  StatusOr<RecoveryResult> recovered = reborn.EnableDurability(Options());
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(Flatten(reborn.Query("?- person(X, Y).")), good_state);
+}
+
+TEST_F(ServiceDurabilityTest, ReplaySkipsEmbeddedQueries) {
+  {
+    QueryService service;
+    ASSERT_TRUE(service.EnableDurability(Options()).ok());
+    UpdateResponse updated =
+        service.Update("p(a). p(b).\n?- p(X).\nq(c).");
+    ASSERT_TRUE(updated.status.ok());
+    ASSERT_EQ(updated.query_responses.size(), 1u);
+  }
+  QueryService reborn;
+  StatusOr<RecoveryResult> recovered = reborn.EnableDurability(Options());
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->replayed_records, 1);
+  // The replayed update's facts are all present; its embedded query
+  // produced no response anywhere (nobody is listening) but also no
+  // failure.
+  EXPECT_EQ(Flatten(reborn.Query("?- q(X).")), "X|c;");
+}
+
+TEST_F(ServiceDurabilityTest, TornWalTailIsDroppedOnRecovery) {
+  {
+    QueryService service;
+    ASSERT_TRUE(service.EnableDurability(Options()).ok());
+    ASSERT_TRUE(service.Update("p(a).").status.ok());
+    ASSERT_TRUE(service.Update("p(b).").status.ok());
+  }
+  // Simulate a crash mid-append: chop bytes off the segment tail.
+  std::vector<WalSegment> segments = ListWalSegments(dir_);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto size = fs::file_size(segments[0].path);
+  fs::resize_file(segments[0].path, size - 3);
+
+  QueryService reborn;
+  StatusOr<RecoveryResult> recovered = reborn.EnableDurability(Options());
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->torn_tail);
+  EXPECT_EQ(recovered->replayed_records, 1);  // p(b) was torn, p(a) survives
+  EXPECT_EQ(Flatten(reborn.Query("?- p(X).")), "X|a;");
+}
+
+TEST_F(ServiceDurabilityTest, MidLogCorruptionRefusesToRecover) {
+  {
+    QueryService service;
+    ASSERT_TRUE(service.EnableDurability(Options()).ok());
+    ASSERT_TRUE(service.Update("p(a).").status.ok());
+    ASSERT_TRUE(service.Update("p(b).").status.ok());
+    ASSERT_TRUE(service.Update("p(c).").status.ok());
+  }
+  // Flip a bit inside the first record's payload: a hole in the middle
+  // of the log, not a torn tail.
+  std::vector<WalSegment> segments = ListWalSegments(dir_);
+  ASSERT_EQ(segments.size(), 1u);
+  std::fstream f(segments[0].path,
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(10);
+  char byte;
+  f.get(byte);
+  f.seekp(10);
+  f.put(static_cast<char>(byte ^ 0x20));
+  f.close();
+
+  QueryService reborn;
+  StatusOr<RecoveryResult> recovered = reborn.EnableDurability(Options());
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.status().message().find("corruption"),
+            std::string::npos)
+      << recovered.status();
+}
+
+TEST_F(ServiceDurabilityTest, CorruptSnapshotFallsBackAndReplaysMore) {
+  std::string before;
+  SnapshotWriteStats second;
+  {
+    QueryService service;
+    ASSERT_TRUE(service.EnableDurability(Options()).ok());
+    ASSERT_TRUE(service.Update(kTc).status.ok());
+    ASSERT_TRUE(service.Update("edge(a, b).").status.ok());
+    ASSERT_TRUE(service.Checkpoint(nullptr).ok());  // snapshot at lsn 2
+    ASSERT_TRUE(service.Update("edge(b, c).").status.ok());
+    ASSERT_TRUE(service.Checkpoint(&second).ok());  // snapshot at lsn 3
+    ASSERT_TRUE(service.Update("edge(c, d).").status.ok());
+    before = Flatten(service.Query("?- tc(a, Y)."));
+  }
+  // Corrupt the *newest* snapshot. Recovery must fall back to the
+  // lsn-2 one... but the segments below lsn 3 were deleted by the
+  // second checkpoint, so the strict LSN chain check refuses: better
+  // loud than wrong. Keep the older segments around by corrupting
+  // BEFORE any segment deletion instead — so here we only verify the
+  // refusal is loud.
+  {
+    std::fstream f(second.path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(30);
+    char byte;
+    f.get(byte);
+    f.seekp(30);
+    f.put(static_cast<char>(byte ^ 0x08));
+    f.close();
+  }
+  QueryService reborn;
+  StatusOr<RecoveryResult> recovered = reborn.EnableDurability(Options());
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.status().message().find("wal gap"), std::string::npos)
+      << recovered.status();
+}
+
+TEST_F(ServiceDurabilityTest, CorruptSnapshotFallsBackWithIntactLog) {
+  std::string before;
+  {
+    QueryService service;
+    ASSERT_TRUE(service.EnableDurability(Options()).ok());
+    ASSERT_TRUE(service.Update(kTc).status.ok());
+    ASSERT_TRUE(service.Update("edge(a, b). edge(b, c).").status.ok());
+    before = Flatten(service.Query("?- tc(a, Y)."));
+    // Write snapshots WITHOUT truncating the log (WriteSnapshot
+    // directly, not Checkpoint): the fallback path then has the whole
+    // log to replay from the older snapshot.
+    ASSERT_TRUE(WriteSnapshot(service.db(), 1, dir_, nullptr).ok());
+    SnapshotWriteStats newest;
+    ASSERT_TRUE(WriteSnapshot(service.db(), 2, dir_, &newest).ok());
+    std::fstream f(newest.path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(30);
+    char byte;
+    f.get(byte);
+    f.seekp(30);
+    f.put(static_cast<char>(byte ^ 0x08));
+    f.close();
+  }
+  QueryService reborn;
+  StatusOr<RecoveryResult> recovered = reborn.EnableDurability(Options());
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->snapshot_lsn, 1u);  // fell back
+  EXPECT_EQ(recovered->replayed_records, 1);
+  EXPECT_EQ(recovered->skipped_records, 1);
+  ASSERT_FALSE(recovered->notes.empty());
+  EXPECT_EQ(Flatten(reborn.Query("?- tc(a, Y).")), before);
+}
+
+TEST_F(ServiceDurabilityTest, WalSyncAlwaysAcknowledgedMeansDurable) {
+  {
+    QueryService service;
+    ASSERT_TRUE(
+        service.EnableDurability(Options(WalSyncPolicy::kAlways)).ok());
+    ASSERT_TRUE(service.Update("p(a).").status.ok());
+    DurabilityStats dur = service.durability_stats();
+    EXPECT_GE(dur.wal_syncs, 1);
+  }
+  QueryService reborn;
+  ASSERT_TRUE(reborn.EnableDurability(Options()).ok());
+  EXPECT_EQ(Flatten(reborn.Query("?- p(X).")), "X|a;");
+}
+
+TEST_F(ServiceDurabilityTest, DisabledDurabilityStillWorks) {
+  QueryService service;
+  ASSERT_TRUE(service.Update("p(a).").status.ok());
+  EXPECT_FALSE(service.durability_stats().enabled);
+  EXPECT_TRUE(service.FlushWal().ok());
+  EXPECT_EQ(service.Checkpoint(nullptr).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServiceDurabilityTest, EnableTwiceFails) {
+  QueryService service;
+  ASSERT_TRUE(service.EnableDurability(Options()).ok());
+  EXPECT_EQ(service.EnableDurability(Options()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace chainsplit

@@ -1,0 +1,343 @@
+// WAL framing and scanning: CRC32 vectors, append/scan roundtrips,
+// torn-tail tolerance vs. mid-log corruption errors, segment rotation
+// and deletion.
+
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "storage/crc32.h"
+#include "storage/log_record.h"
+
+namespace chainsplit {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            StrCat("cs_wal_test_", ::getpid(), "_",
+                   ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical check value of CRC-32/ISO-HDLC.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, SeedChainsPartialComputations) {
+  const std::string text = "chain-split evaluation";
+  for (size_t cut = 0; cut <= text.size(); ++cut) {
+    EXPECT_EQ(Crc32(text.substr(cut), Crc32(text.substr(0, cut))),
+              Crc32(text));
+  }
+}
+
+TEST(WalRecordTest, UpdateRoundtrip) {
+  WalRecord record;
+  record.lsn = 42;
+  record.type = WalRecordType::kUpdate;
+  record.text = "p(a, b).\nq(X) :- p(X, _).\n";
+  StatusOr<WalRecord> decoded = DecodeWalRecord(EncodeWalRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->lsn, 42u);
+  EXPECT_EQ(decoded->type, WalRecordType::kUpdate);
+  EXPECT_EQ(decoded->text, record.text);
+}
+
+TEST(WalRecordTest, CsvRoundtrip) {
+  WalRecord record;
+  record.lsn = 7;
+  record.type = WalRecordType::kCsvLoad;
+  record.text = "a|b\nc|d\n";
+  record.pred_name = "edge";
+  record.arity = 2;
+  record.delimiter = '|';
+  StatusOr<WalRecord> decoded = DecodeWalRecord(EncodeWalRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->type, WalRecordType::kCsvLoad);
+  EXPECT_EQ(decoded->text, record.text);
+  EXPECT_EQ(decoded->pred_name, "edge");
+  EXPECT_EQ(decoded->arity, 2);
+  EXPECT_EQ(decoded->delimiter, '|');
+}
+
+TEST(WalRecordTest, RejectsTrailingBytesAndBadType) {
+  WalRecord record;
+  record.type = WalRecordType::kUpdate;
+  record.text = "p(a).";
+  std::string payload = EncodeWalRecord(record);
+  EXPECT_FALSE(DecodeWalRecord(payload + "x").ok());
+  payload[8] = 99;  // type byte (after the u64 lsn)
+  EXPECT_FALSE(DecodeWalRecord(payload).ok());
+}
+
+TEST(WalPolicyTest, ParsePolicy) {
+  EXPECT_EQ(*ParseWalSyncPolicy("always"), WalSyncPolicy::kAlways);
+  EXPECT_EQ(*ParseWalSyncPolicy("interval"), WalSyncPolicy::kInterval);
+  EXPECT_EQ(*ParseWalSyncPolicy("none"), WalSyncPolicy::kNone);
+  EXPECT_FALSE(ParseWalSyncPolicy("sometimes").ok());
+}
+
+TEST(WalPolicyTest, LsnHexIsSortable) {
+  EXPECT_EQ(LsnToHex(0), "0000000000000000");
+  EXPECT_EQ(LsnToHex(255), "00000000000000ff");
+  EXPECT_LT(LsnToHex(9), LsnToHex(10));
+  EXPECT_LT(LsnToHex(99), LsnToHex(256));
+}
+
+std::vector<WalRecord> ScanAll(const std::string& dir, WalScanStats* stats,
+                               Status* status) {
+  std::vector<WalRecord> records;
+  *status = Status::Ok();
+  for (const WalSegment& segment : ListWalSegments(dir)) {
+    WalScanStats one;
+    *status = ScanWalFile(
+        segment.path,
+        [&](WalRecord&& record) -> Status {
+          records.push_back(std::move(record));
+          return Status::Ok();
+        },
+        &one);
+    stats->records += one.records;
+    if (one.torn_tail) {
+      stats->torn_tail = true;
+      stats->note = one.note;
+    }
+    if (!status->ok()) break;
+  }
+  return records;
+}
+
+TEST_F(WalTest, AppendScanRoundtrip) {
+  {
+    StatusOr<std::unique_ptr<Wal>> wal =
+        Wal::Open(dir_, 1, {WalSyncPolicy::kNone, 0});
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    for (int i = 0; i < 5; ++i) {
+      WalRecord record;
+      record.type = WalRecordType::kUpdate;
+      record.text = StrCat("p(a", i, ").");
+      StatusOr<uint64_t> lsn = (*wal)->Append(std::move(record));
+      ASSERT_TRUE(lsn.ok()) << lsn.status();
+      EXPECT_EQ(*lsn, static_cast<uint64_t>(i + 1));
+    }
+    EXPECT_EQ((*wal)->last_lsn(), 5u);
+    EXPECT_EQ((*wal)->stats().records, 5);
+  }
+  WalScanStats stats;
+  Status status;
+  std::vector<WalRecord> records = ScanAll(dir_, &stats, &status);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_FALSE(stats.torn_tail);
+  ASSERT_EQ(records.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[i].lsn, static_cast<uint64_t>(i + 1));
+    EXPECT_EQ(records[i].text, StrCat("p(a", i, ")."));
+  }
+}
+
+TEST_F(WalTest, ReopenStartsFreshSegmentAndKeepsLsnSequence) {
+  for (int run = 0; run < 3; ++run) {
+    StatusOr<std::unique_ptr<Wal>> wal =
+        Wal::Open(dir_, static_cast<uint64_t>(run * 2 + 1),
+                  {WalSyncPolicy::kNone, 0});
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    for (int i = 0; i < 2; ++i) {
+      WalRecord record;
+      record.type = WalRecordType::kUpdate;
+      record.text = StrCat("r", run, "i", i, ".");
+      ASSERT_TRUE((*wal)->Append(std::move(record)).ok());
+    }
+  }
+  EXPECT_EQ(ListWalSegments(dir_).size(), 3u);
+  WalScanStats stats;
+  Status status;
+  std::vector<WalRecord> records = ScanAll(dir_, &stats, &status);
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_EQ(records.size(), 6u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].lsn, i + 1);  // consecutive across segments
+  }
+}
+
+TEST_F(WalTest, TornTailIsToleratedAtEveryCut) {
+  {
+    StatusOr<std::unique_ptr<Wal>> wal =
+        Wal::Open(dir_, 1, {WalSyncPolicy::kNone, 0});
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    for (int i = 0; i < 3; ++i) {
+      WalRecord record;
+      record.type = WalRecordType::kUpdate;
+      record.text = StrCat("fact_number_", i, "(with_some_payload).");
+      ASSERT_TRUE((*wal)->Append(std::move(record)).ok());
+    }
+  }
+  std::vector<WalSegment> segments = ListWalSegments(dir_);
+  ASSERT_EQ(segments.size(), 1u);
+  std::ifstream in(segments[0].path, std::ios::binary);
+  std::string full((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  // Frame boundaries of the intact file: a cut exactly on one is a
+  // clean (shorter) log, anywhere else is a torn tail.
+  std::set<size_t> boundaries{0};
+  {
+    size_t at = 0;
+    while (at < full.size()) {
+      uint32_t length = 0;
+      memcpy(&length, full.data() + at, 4);  // little-endian test host
+      at += 8 + length;
+      boundaries.insert(at);
+    }
+  }
+
+  // Cut the file at every length shorter than full: the scan must
+  // never error, and must only drop whole records from the tail.
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::ofstream out(segments[0].path,
+                      std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    WalScanStats stats;
+    Status status = ScanWalFile(
+        segments[0].path, [](WalRecord&&) { return Status::Ok(); }, &stats);
+    ASSERT_TRUE(status.ok()) << "cut=" << cut << ": " << status;
+    EXPECT_EQ(stats.torn_tail, boundaries.count(cut) == 0) << "cut=" << cut;
+    EXPECT_LE(stats.records, 3);
+  }
+}
+
+TEST_F(WalTest, BitFlipMidLogIsAHardError) {
+  {
+    StatusOr<std::unique_ptr<Wal>> wal =
+        Wal::Open(dir_, 1, {WalSyncPolicy::kNone, 0});
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    for (int i = 0; i < 3; ++i) {
+      WalRecord record;
+      record.type = WalRecordType::kUpdate;
+      record.text = StrCat("stable_payload_", i, "(a, b, c).");
+      ASSERT_TRUE((*wal)->Append(std::move(record)).ok());
+    }
+  }
+  std::vector<WalSegment> segments = ListWalSegments(dir_);
+  ASSERT_EQ(segments.size(), 1u);
+  std::ifstream in(segments[0].path, std::ios::binary);
+  std::string full((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  // Flip one bit inside the *first* record's payload (offset 8 is just
+  // past its frame header).
+  std::string flipped = full;
+  flipped[10] = static_cast<char>(flipped[10] ^ 0x40);
+  std::ofstream out(segments[0].path, std::ios::binary | std::ios::trunc);
+  out.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+  out.close();
+
+  WalScanStats stats;
+  int applied = 0;
+  Status status = ScanWalFile(
+      segments[0].path,
+      [&](WalRecord&&) {
+        ++applied;
+        return Status::Ok();
+      },
+      &stats);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("crc mismatch"), std::string::npos)
+      << status;
+  // Nothing after the hole was applied.
+  EXPECT_EQ(applied, 0);
+}
+
+TEST_F(WalTest, RotateAndDeleteSegmentsBelow) {
+  StatusOr<std::unique_ptr<Wal>> wal =
+      Wal::Open(dir_, 1, {WalSyncPolicy::kNone, 0});
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  for (int i = 0; i < 4; ++i) {
+    WalRecord record;
+    record.type = WalRecordType::kUpdate;
+    record.text = StrCat("p(", i, ").");
+    ASSERT_TRUE((*wal)->Append(std::move(record)).ok());
+  }
+  ASSERT_TRUE((*wal)->Rotate().ok());  // seals lsns 1..4
+  // Rotate with an empty current segment is a no-op.
+  ASSERT_TRUE((*wal)->Rotate().ok());
+  EXPECT_EQ(ListWalSegments(dir_).size(), 2u);
+
+  WalRecord record;
+  record.type = WalRecordType::kUpdate;
+  record.text = "p(4).";
+  ASSERT_TRUE((*wal)->Append(std::move(record)).ok());
+
+  // A snapshot at lsn 4 keeps lsn 5+: the sealed segment (1..4) goes.
+  StatusOr<int> removed = (*wal)->DeleteSegmentsBelow(5);
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_EQ(*removed, 1);
+  std::vector<WalSegment> segments = ListWalSegments(dir_);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].first_lsn, 5u);
+
+  // The current segment is never deleted, whatever the horizon.
+  removed = (*wal)->DeleteSegmentsBelow(100);
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_EQ(*removed, 0);
+  EXPECT_EQ(ListWalSegments(dir_).size(), 1u);
+}
+
+TEST_F(WalTest, SyncPoliciesCountFsyncs) {
+  {
+    StatusOr<std::unique_ptr<Wal>> wal =
+        Wal::Open(dir_, 1, {WalSyncPolicy::kAlways, 0});
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    for (int i = 0; i < 3; ++i) {
+      WalRecord record;
+      record.type = WalRecordType::kUpdate;
+      record.text = "p(a).";
+      ASSERT_TRUE((*wal)->Append(std::move(record)).ok());
+    }
+    EXPECT_GE((*wal)->stats().syncs, 3);
+  }
+  fs::remove_all(dir_);
+  fs::create_directories(dir_);
+  {
+    StatusOr<std::unique_ptr<Wal>> wal =
+        Wal::Open(dir_, 1, {WalSyncPolicy::kNone, 0});
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    WalRecord record;
+    record.type = WalRecordType::kUpdate;
+    record.text = "p(a).";
+    ASSERT_TRUE((*wal)->Append(std::move(record)).ok());
+    EXPECT_EQ((*wal)->stats().syncs, 0);
+  }
+}
+
+}  // namespace
+}  // namespace chainsplit

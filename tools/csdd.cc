@@ -13,6 +13,14 @@
 //                              answers "% overloaded" (default 256)
 //   --max-line=BYTES           request-line size limit (default 1 MiB)
 //
+// Durability flags (docs/service.md §Durability):
+//   --data-dir=DIR             recover from DIR on startup, then log
+//                              every mutation there (WAL + snapshots)
+//   --wal-sync=POLICY          always | interval (default) | none
+//   --wal-sync-interval=MS     interval policy's fsync period (50)
+//   --snapshot-every=N         auto-checkpoint after N logged records
+//                              (0 = only on :snapshot)
+//
 // Loads each program file (facts, rules; queries in files run
 // immediately), then reads from stdin:
 //
@@ -31,7 +39,9 @@
 //
 // With --serve PORT the server starts before the REPL. :quit stops
 // everything; a closed stdin (e.g. `csdd --serve 4242 < /dev/null &`)
-// leaves the server running until SIGINT/SIGTERM.
+// leaves the server running until SIGINT/SIGTERM, which shut down
+// gracefully: stop accepting, drain in-flight requests, fsync the WAL,
+// exit 0.
 //
 // Exit status: nonzero when any statement failed while loading files
 // (command line or :load) or while reading non-interactive stdin, so
@@ -58,6 +68,7 @@ namespace {
 int Run(int argc, char** argv) {
   int serve_port = -1;
   ServerOptions server_options;
+  DurabilityOptions durability;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -65,6 +76,19 @@ int Run(int argc, char** argv) {
       serve_port = std::atoi(argv[++i]);
     } else if (StartsWith(arg, "--serve=")) {
       serve_port = std::atoi(arg.c_str() + 8);
+    } else if (StartsWith(arg, "--data-dir=")) {
+      durability.data_dir = arg.substr(11);
+    } else if (StartsWith(arg, "--wal-sync=")) {
+      StatusOr<WalSyncPolicy> policy = ParseWalSyncPolicy(arg.substr(11));
+      if (!policy.ok()) {
+        std::printf("error: %s\n", policy.status().ToString().c_str());
+        return 1;
+      }
+      durability.wal.sync = *policy;
+    } else if (StartsWith(arg, "--wal-sync-interval=")) {
+      durability.wal.sync_interval_ms = std::atoi(arg.c_str() + 20);
+    } else if (StartsWith(arg, "--snapshot-every=")) {
+      durability.snapshot_every_records = std::atoll(arg.c_str() + 17);
     } else if (StartsWith(arg, "--net-mode=")) {
       std::string mode = arg.substr(11);
       if (mode == "epoll") {
@@ -93,6 +117,8 @@ int Run(int argc, char** argv) {
           "            [--listen-addr=ADDR] [--listen-backlog=N]\n"
           "            [--net-workers=N] [--net-queue=N] "
           "[--max-line=BYTES]\n"
+          "            [--data-dir=DIR] [--wal-sync=always|interval|none]\n"
+          "            [--wal-sync-interval=MS] [--snapshot-every=N]\n"
           "            [program.dl ...]\n%s",
           Session::HelpText());
       return 0;
@@ -101,7 +127,43 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Block SIGINT/SIGTERM before any thread exists (the durability
+  // checkpointer, server threads): every later thread inherits the
+  // mask, so a signal can only be consumed by the sigwait below and a
+  // graceful shutdown is guaranteed in serve mode. In pure REPL mode
+  // (no --serve) the default dispositions stay in place.
+  sigset_t sigset;
+  sigemptyset(&sigset);
+  sigaddset(&sigset, SIGINT);
+  sigaddset(&sigset, SIGTERM);
+  if (serve_port >= 0) pthread_sigmask(SIG_BLOCK, &sigset, nullptr);
+
   QueryService service;
+  if (!durability.data_dir.empty()) {
+    StatusOr<RecoveryResult> recovered = service.EnableDurability(durability);
+    if (!recovered.ok()) {
+      std::printf("error: recovery failed: %s\n",
+                  recovered.status().ToString().c_str());
+      return 1;
+    }
+    if (recovered->cold_start) {
+      std::printf("%% data dir %s: cold start\n",
+                  durability.data_dir.c_str());
+    } else {
+      std::printf(
+          "%% recovered from %s: snapshot lsn %llu, %lld records replayed, "
+          "%lld skipped%s\n",
+          durability.data_dir.c_str(),
+          static_cast<unsigned long long>(recovered->snapshot_lsn),
+          static_cast<long long>(recovered->replayed_records),
+          static_cast<long long>(recovered->skipped_records),
+          recovered->torn_tail ? " (torn tail dropped)" : "");
+    }
+    for (const std::string& note : recovered->notes) {
+      std::printf("%% recovery: %s\n", note.c_str());
+    }
+    std::fflush(stdout);
+  }
   Session session(&service, {});
   int load_errors = 0;
   for (const std::string& file : files) {
@@ -167,17 +229,24 @@ int Run(int argc, char** argv) {
   }
   if (server != nullptr && !quit) {
     // stdin closed while serving: a daemon-style launch. Stay up until
-    // SIGINT/SIGTERM, then shut down cleanly. (A signal landing on a
-    // server thread still terminates the process, which is fine.)
-    sigset_t set;
-    sigemptyset(&set);
-    sigaddset(&set, SIGINT);
-    sigaddset(&set, SIGTERM);
-    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    // SIGINT/SIGTERM (blocked in every thread since startup, so the
+    // signal always lands here), then shut down gracefully.
     int sig = 0;
-    sigwait(&set, &sig);
+    sigwait(&sigset, &sig);
+    std::printf("%% received %s, shutting down\n",
+                sig == SIGINT ? "SIGINT" : "SIGTERM");
+    std::fflush(stdout);
   }
-  if (server != nullptr) server->Stop();
+  if (server != nullptr) server->Stop();  // stop accepting, drain, join
+  Status flushed = service.FlushWal();
+  if (!flushed.ok()) {
+    std::printf("error: wal flush: %s\n", flushed.ToString().c_str());
+    return 1;
+  }
+  if (server != nullptr) {
+    std::printf("%% shutdown complete\n");
+    std::fflush(stdout);
+  }
   if (load_errors > 0) return 1;
   if (!tty && stdin_errors > 0) return 1;
   return 0;
