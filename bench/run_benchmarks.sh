@@ -80,6 +80,17 @@ for bin in "${benches[@]}"; do
         if (qps[1] > 0 && qps[8] > 0)
           printf "   uncached scaling: %.0f qps @1 client, %.0f qps @8 clients (%.2fx)\n", qps[1], qps[8], qps[8] / qps[1]
       }' "$out"
+    # Summarize the tracing cost: the acceptance bound is <= 2% on the
+    # uncached single-client shape (docs/perf_notes.md).
+    awk '
+      /"name": "TraceOverhead\// { want = 1 }
+      want && /"trace_overhead_pct":/ {
+        gsub(/[^0-9.e+-]/, "", $2); pct = $2; seen = 1; want = 0
+      }
+      END {
+        if (seen)
+          printf "   trace overhead: %.2f%% (traced vs untraced, 1 client)\n", pct
+      }' "$out"
   fi
 done
 exit $status

@@ -15,7 +15,20 @@
                                                  #cond)               \
         .stream()
 
+/// CS_DCHECK(cond) is CS_CHECK in debug builds and compiled out under
+/// NDEBUG (release/bench builds don't pay debug-invariant cost). The
+/// condition and any streamed operands still type-check in release but
+/// are never evaluated — side effects in a CS_DCHECK are a bug.
+#ifdef NDEBUG
+#define CS_DCHECK(cond)                                               \
+  if (true || (cond)) {                                               \
+  } else                                                              \
+    ::chainsplit::internal_logging::FatalMessage(__FILE__, __LINE__,  \
+                                                 #cond)               \
+        .stream()
+#else
 #define CS_DCHECK(cond) CS_CHECK(cond)
+#endif
 
 namespace chainsplit {
 namespace internal_logging {

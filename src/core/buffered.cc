@@ -56,9 +56,24 @@ class BufferedChainEvaluator::Run {
 
   StatusOr<std::vector<Tuple>> Execute(const Atom& query) {
     CS_RETURN_IF_ERROR(Setup(query));
-    CS_RETURN_IF_ERROR(ForwardPhase());
-    CS_RETURN_IF_ERROR(ExitPhase());
-    if (!Done()) CS_RETURN_IF_ERROR(BackwardPhase());
+    {
+      TraceSpan span(options_.trace, "chain_forward_phase");
+      CS_RETURN_IF_ERROR(ForwardPhase());
+      span.Attr("levels", stats_->levels);
+      span.Attr("nodes", stats_->nodes);
+      span.Attr("edges", stats_->edges);
+    }
+    {
+      TraceSpan span(options_.trace, "chain_exit_phase");
+      CS_RETURN_IF_ERROR(ExitPhase());
+      span.Attr("exit_solutions", stats_->exit_solutions);
+    }
+    if (!Done()) {
+      TraceSpan span(options_.trace, "chain_backward_phase");
+      CS_RETURN_IF_ERROR(BackwardPhase());
+      span.Attr("delayed_solves", stats_->delayed_solves);
+      span.Attr("answers", stats_->answers);
+    }
     return CollectRootAnswers(query);
   }
 
@@ -191,6 +206,10 @@ class BufferedChainEvaluator::Run {
             StrCat("forward chain exceeded ", options_.max_levels,
                    " levels"));
       }
+      TraceSpan level_span(options_.trace, "chain_level");
+      level_span.Attr("level", stats_->levels);
+      level_span.Attr("frontier", static_cast<int64_t>(frontier.size()));
+      const int64_t edges_before = stats_->edges;
       std::vector<int> next;
       for (int node_id : frontier) {
         Substitution subst0;
@@ -248,6 +267,8 @@ class BufferedChainEvaluator::Run {
                      " call states"));
         }
       }
+      level_span.Attr("new_states", static_cast<int64_t>(next.size()));
+      level_span.Attr("edges", stats_->edges - edges_before);
       frontier = std::move(next);
     }
     return Status::Ok();

@@ -7,6 +7,7 @@
 #include "core/chain_compile.h"
 #include "core/finiteness.h"
 #include "engine/topdown.h"
+#include "obs/trace.h"
 #include "rel/catalog.h"
 
 namespace chainsplit {
@@ -35,6 +36,11 @@ struct BufferedOptions {
   /// level, per exit-phase call state and per backward-phase worklist
   /// item (never per tuple). Null = never cancelled.
   const CancelToken* cancel = nullptr;
+
+  /// Optional trace sink (same seam as `cancel`): records one span per
+  /// forward level plus one per phase (forward/exit/backward). Null =
+  /// no tracing.
+  Trace* trace = nullptr;
 };
 
 /// Work measures of one buffered evaluation, reported by benchmarks.

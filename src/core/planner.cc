@@ -151,8 +151,13 @@ class PlanRun {
       }
     }
 
+    TraceSpan classify_span(options_.trace, "classify");
     ProgramAnalysis analysis = ProgramAnalysis::Analyze(program_, rectified_);
     const PredicateClassification& cls = analysis.Get(main_goal_.pred);
+    classify_span.Attr("recursion_class",
+                       RecursionClassToString(cls.recursion));
+    classify_span.Attr("functional", cls.functional ? int64_t{1} : int64_t{0});
+    classify_span.End();
     AppendPlan(StrCat("recursion class of ",
                       program_.preds().Display(main_goal_.pred), ": ",
                       RecursionClassToString(cls.recursion),
@@ -208,10 +213,16 @@ class PlanRun {
   Status RunTopDown() {
     AppendPlan("technique: top-down SLD resolution");
     result_.technique = Technique::kTopDown;
+    TraceSpan span(options_.trace, "topdown_sld");
+    span.Attr("technique", TechniqueToString(result_.technique));
     TopDownEvaluator solver(db_, TopDownWithCancel());
-    CS_ASSIGN_OR_RETURN(result_.answers,
-                        solver.Answers(query_.goals, result_.vars));
+    StatusOr<std::vector<Tuple>> answers =
+        solver.Answers(query_.goals, result_.vars);
     result_.topdown_stats = solver.stats();
+    span.Attr("steps", result_.topdown_stats.steps);
+    span.Attr("solutions", result_.topdown_stats.solutions);
+    CS_RETURN_IF_ERROR(answers.status());
+    result_.answers = *std::move(answers);
     return Status::Ok();
   }
 
@@ -239,6 +250,7 @@ class PlanRun {
         return propagate;
       };
     }
+    TraceSpan rewrite_span(options_.trace, "magic_rewrite");
     CS_ASSIGN_OR_RETURN(
         AdornedProgram adorned,
         AdornProgram(&program_, rectified_, main_goal_.pred,
@@ -248,19 +260,32 @@ class PlanRun {
     for (const Atom& seed : magic.seeds) {
       db_->InsertFact(seed.pred, seed.args);
     }
+    rewrite_span.Attr("transformed_rules",
+                      static_cast<int64_t>(magic.rules.size()));
+    rewrite_span.Attr("gate_fired", *gate_fired ? int64_t{1} : int64_t{0});
+    rewrite_span.End();
+    result_.technique = (use_gate && *gate_fired)
+                            ? Technique::kChainSplitMagic
+                            : Technique::kMagicSets;
     SemiNaiveOptions seminaive = options_.seminaive;
     if (seminaive.cancel == nullptr) seminaive.cancel = options_.cancel;
+    if (seminaive.trace == nullptr) seminaive.trace = options_.trace;
     if (options_.use_stats_ordering && seminaive.estimator == nullptr) {
       EvalDb* db = db_;
       seminaive.estimator = [db](PredId pred, const std::string& ad) {
         return EstimateJoinExpansion(db->Stats(pred), ad);
       };
     }
-    CS_RETURN_IF_ERROR(SemiNaiveEvaluate(db_, magic.rules, seminaive,
-                                         &result_.seminaive_stats));
-    result_.technique = (use_gate && *gate_fired)
-                            ? Technique::kChainSplitMagic
-                            : Technique::kMagicSets;
+    {
+      TraceSpan fixpoint_span(options_.trace, "fixpoint");
+      fixpoint_span.Attr("technique",
+                         TechniqueToString(result_.technique));
+      Status status = SemiNaiveEvaluate(db_, magic.rules, seminaive,
+                                        &result_.seminaive_stats);
+      fixpoint_span.Attr("iterations", result_.seminaive_stats.iterations);
+      fixpoint_span.Attr("derived", result_.seminaive_stats.total_derived);
+      CS_RETURN_IF_ERROR(status);
+    }
     AppendPlan(StrCat("technique: ", TechniqueToString(result_.technique),
                       " (", magic.rules.size(), " transformed rules, query ",
                       program_.preds().Display(magic.answer_pred), ")"));
@@ -285,9 +310,11 @@ class PlanRun {
   }
 
   Status RunChain(bool allow_partial) {
+    TraceSpan compile_span(options_.trace, "chain_compile");
     CS_ASSIGN_OR_RETURN(
         CompiledChain chain,
         CompileChain(program_, rectified_, main_goal_.pred));
+    compile_span.End();
     std::vector<TermId> bound_vars;
     for (size_t i = 0; i < main_goal_.args.size(); ++i) {
       if (pool_.IsGround(main_goal_.args[i])) {
@@ -295,9 +322,15 @@ class PlanRun {
       }
     }
     ChainPath whole = WholeBodyPath(pool_, chain);
+    TraceSpan split_span(options_.trace, "split_decision");
     CS_ASSIGN_OR_RETURN(
         PathSplit split,
         DecideSplit(db_, chain, whole, bound_vars, options_.split));
+    split_span.Attr("evaluable_literals",
+                    static_cast<int64_t>(split.evaluable.size()));
+    split_span.Attr("delayed_literals",
+                    static_cast<int64_t>(split.delayed.size()));
+    split_span.End();
     AppendPlan(CompiledChainToString(program_, chain));
     AppendPlan(StrCat("split: ", PathSplitToString(program_, chain, split)));
 
@@ -306,6 +339,7 @@ class PlanRun {
     if (buffered.subquery.cancel == nullptr) {
       buffered.subquery.cancel = options_.cancel;
     }
+    if (buffered.trace == nullptr) buffered.trace = options_.trace;
 
     // Constraint pushing (Algorithm 3.3) when the query carries an
     // upper bound on a monotone answer position.
@@ -327,12 +361,17 @@ class PlanRun {
             "technique: partial evaluation, pushing bound ", bound.limit,
             " on argument ", position, " into the chain"));
         result_.technique = Technique::kPartial;
-        std::vector<Tuple> answers;
-        CS_ASSIGN_OR_RETURN(
-            answers, PartialEvaluate(db_, chain, split, main_goal_,
-                                     *constraint, buffered,
-                                     &result_.buffered_stats));
-        return FinishWithMainAnswers(answers);
+        TraceSpan eval_span(options_.trace, "partial_eval");
+        eval_span.Attr("technique",
+                       TechniqueToString(result_.technique));
+        StatusOr<std::vector<Tuple>> answers = PartialEvaluate(
+            db_, chain, split, main_goal_, *constraint, buffered,
+            &result_.buffered_stats);
+        eval_span.Attr("levels", result_.buffered_stats.levels);
+        eval_span.Attr("answers", result_.buffered_stats.answers);
+        eval_span.End();
+        CS_RETURN_IF_ERROR(answers.status());
+        return FinishWithMainAnswers(*answers);
       }
       if (options_.force == Technique::kPartial) {
         return FailedPreconditionError(
@@ -352,8 +391,15 @@ class PlanRun {
       AppendPlan("existence check: stopping at the first proof");
     }
     BufferedChainEvaluator evaluator(db_, chain, buffered);
+    TraceSpan eval_span(options_.trace, "buffered_eval");
+    eval_span.Attr("technique",
+                   TechniqueToString(result_.technique));
     StatusOr<std::vector<Tuple>> answers = evaluator.Evaluate(main_goal_, split);
     result_.buffered_stats = evaluator.stats();
+    eval_span.Attr("levels", result_.buffered_stats.levels);
+    eval_span.Attr("call_states", result_.buffered_stats.nodes);
+    eval_span.Attr("answers", result_.buffered_stats.answers);
+    eval_span.End();
     CS_RETURN_IF_ERROR(answers.status());
     return FinishWithMainAnswers(*answers);
   }
@@ -361,6 +407,8 @@ class PlanRun {
   /// Joins the main-goal answers with the remaining query goals and
   /// projects to the query variables.
   Status FinishWithMainAnswers(const std::vector<Tuple>& answers) {
+    TraceSpan span(options_.trace, "apply_rest_goals");
+    span.Attr("main_answers", static_cast<int64_t>(answers.size()));
     TopDownEvaluator solver(db_, TopDownWithCancel());
     std::unordered_set<Tuple, TupleHash> seen;
     for (const Tuple& tuple : answers) {

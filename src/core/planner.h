@@ -57,6 +57,13 @@ struct PlannerOptions {
   /// propagated into every evaluator invoked (semi-naive, buffered,
   /// SLD) unless that evaluator's own options already carry a token.
   const CancelToken* cancel = nullptr;
+
+  /// Optional trace sink for the whole evaluation. The planner records
+  /// spans for classification, chain compilation, the split decision,
+  /// magic rewriting and each evaluator run (with the technique taken),
+  /// and propagates the sink into the evaluators' own options (same
+  /// propagation rule as `cancel`). Null = no tracing.
+  Trace* trace = nullptr;
 };
 
 /// Answers plus provenance of one query evaluation.

@@ -95,27 +95,36 @@ Status SemiNaiveEvaluate(EvalDb* db, const std::vector<Rule>& rules,
   }
 
   // Initialization round: every rule once against the full relations.
-  for (const RuleVariants& variants : compiled) {
-    CS_RETURN_IF_ERROR(CheckCancel(options.cancel));
-    Relation scratch(program.preds().arity(variants.base.head_pred));
-    CS_RETURN_IF_ERROR(EvaluateRule(db->pool(), program.preds(),
-                                    variants.base, rel_for,
-                                    /*delta_literal=*/-1, nullptr, &scratch,
-                                    &stats->counters));
-    Relation* total = db->GetOrCreateRelation(variants.base.head_pred);
-    for (int64_t i = 0; i < scratch.num_rows(); ++i) {
-      if (total->Insert(scratch.row(i))) ++stats->total_derived;
+  {
+    TraceSpan init_span(options.trace, "fixpoint_init");
+    for (const RuleVariants& variants : compiled) {
+      CS_RETURN_IF_ERROR(CheckCancel(options.cancel));
+      Relation scratch(program.preds().arity(variants.base.head_pred));
+      CS_RETURN_IF_ERROR(EvaluateRule(db->pool(), program.preds(),
+                                      variants.base, rel_for,
+                                      /*delta_literal=*/-1, nullptr, &scratch,
+                                      &stats->counters));
+      Relation* total = db->GetOrCreateRelation(variants.base.head_pred);
+      for (int64_t i = 0; i < scratch.num_rows(); ++i) {
+        if (total->Insert(scratch.row(i))) ++stats->total_derived;
+      }
+      scratch_sum.Add(scratch);
     }
-    scratch_sum.Add(scratch);
-  }
-  for (PredId pred : idb) {
-    const Relation* total = db->GetRelation(pred);
-    if (total != nullptr) delta.at(pred).UnionWith(*total);
+    for (PredId pred : idb) {
+      const Relation* total = db->GetRelation(pred);
+      if (total != nullptr) delta.at(pred).UnionWith(*total);
+    }
+    init_span.Attr("rules", static_cast<int64_t>(compiled.size()));
+    init_span.Attr("derived", stats->total_derived);
   }
 
   while (true) {
     bool any_delta = false;
-    for (const auto& [pred, rel] : delta) any_delta |= !rel.empty();
+    int64_t delta_rows = 0;
+    for (const auto& [pred, rel] : delta) {
+      any_delta |= !rel.empty();
+      delta_rows += rel.num_rows();
+    }
     if (!any_delta) break;
     CS_RETURN_IF_ERROR(CheckCancel(options.cancel));
     if (++stats->iterations > options.max_iterations) {
@@ -123,6 +132,14 @@ Status SemiNaiveEvaluate(EvalDb* db, const std::vector<Rule>& rules,
           StrCat("fixpoint did not converge within ", options.max_iterations,
                  " iterations"));
     }
+
+    // One span per iteration: the delta feeding this round plus the work
+    // it triggered (derived tuples and join counters as deltas).
+    TraceSpan iter_span(options.trace, "fixpoint_iteration");
+    iter_span.Attr("iteration", stats->iterations);
+    iter_span.Attr("delta_rows", delta_rows);
+    const int64_t derived_before_iter = stats->total_derived;
+    const EvalCounters counters_before_iter = stats->counters;
 
     for (auto& [pred, rel] : next_delta) rel.Clear();
 
@@ -153,6 +170,13 @@ Status SemiNaiveEvaluate(EvalDb* db, const std::vector<Rule>& rules,
       }
       scratch_sum.Add(scratch);
     }
+    iter_span.Attr("derived",
+                   stats->total_derived - derived_before_iter);
+    iter_span.Attr("tuples_considered",
+                   stats->counters.tuples_considered -
+                       counters_before_iter.tuples_considered);
+    iter_span.Attr("derivations", stats->counters.derivations -
+                                      counters_before_iter.derivations);
     if (stats->total_derived > options.max_tuples) {
       return ResourceExhaustedError(
           StrCat("derived more than ", options.max_tuples, " tuples"));

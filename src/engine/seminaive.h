@@ -7,6 +7,7 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "engine/grounder.h"
+#include "obs/trace.h"
 #include "rel/catalog.h"
 
 namespace chainsplit {
@@ -35,6 +36,12 @@ struct SemiNaiveOptions {
   /// cancelled. On expiry the evaluation stops with kDeadlineExceeded
   /// or kCancelled; `*stats` holds the partial work done so far.
   const CancelToken* cancel = nullptr;
+
+  /// Optional trace sink riding the same seam as `cancel`: when set,
+  /// the fixpoint records one span per iteration carrying delta sizes,
+  /// tuples derived, and join work counters. Null = no tracing; the
+  /// hot loop pays only a pointer test.
+  Trace* trace = nullptr;
 };
 
 /// Storage-layer telemetry of one fixpoint run, aggregated from the

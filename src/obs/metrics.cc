@@ -1,0 +1,361 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace chainsplit {
+
+namespace obs_internal {
+
+int ShardIndex() {
+  // Hash of the thread id, computed once per thread. Distinct threads
+  // may share a shard (kShards is small on purpose); that only costs
+  // an occasional contended fetch_add, never correctness.
+  thread_local const int shard = static_cast<int>(
+      std::hash<std::thread::id>()(std::this_thread::get_id()) %
+      static_cast<size_t>(kShards));
+  return shard;
+}
+
+}  // namespace obs_internal
+
+void Histogram::Record(int64_t value) {
+  int bucket = 0;
+  // Bucket b holds values < 2^b; values >= 2^(kBuckets-2) land in the
+  // +Inf bucket.
+  uint64_t v = value <= 0 ? 0 : static_cast<uint64_t>(value);
+  while (bucket < kBuckets - 1 && v >= (uint64_t{1} << bucket)) ++bucket;
+  Shard& shard = shards_[obs_internal::ShardIndex()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Read() const {
+  Snapshot snap;
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (int b = 0; b < kBuckets; ++b) snap.count += snap.buckets[b];
+  return snap;
+}
+
+int64_t Histogram::Snapshot::BucketBound(int b) {
+  if (b >= kBuckets - 1) return std::numeric_limits<int64_t>::max();
+  return int64_t{1} << b;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const int64_t next = cumulative + buckets[b];
+    if (static_cast<double>(next) >= rank) {
+      // Linear interpolation inside [lower, upper): lower bound is the
+      // previous bucket's bound (0 for bucket 0). The +Inf bucket has
+      // no upper bound; report its lower bound.
+      const double lower = b == 0 ? 0 : static_cast<double>(BucketBound(b - 1));
+      if (b >= kBuckets - 1) return lower;
+      const double upper = static_cast<double>(BucketBound(b));
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[b]);
+      return lower + (upper - lower) * within;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(BucketBound(kBuckets - 2));
+}
+
+MetricsRegistry::Series* MetricsRegistry::FindLocked(
+    const std::string& name, const MetricLabels& labels, MetricType type) {
+  for (const auto& series : series_) {
+    if (series->callback == nullptr && series->name == name &&
+        series->labels == labels && series->type == type) {
+      return series.get();
+    }
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name,
+                                     const std::string& help,
+                                     MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Series* existing = FindLocked(name, labels, MetricType::kCounter)) {
+    return existing->counter.get();
+  }
+  auto series = std::make_unique<Series>();
+  series->name = name;
+  series->help = help;
+  series->type = MetricType::kCounter;
+  series->labels = std::move(labels);
+  series->counter = std::make_unique<Counter>();
+  Counter* handle = series->counter.get();
+  series_.push_back(std::move(series));
+  return handle;
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name,
+                                 const std::string& help,
+                                 MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Series* existing = FindLocked(name, labels, MetricType::kGauge)) {
+    return existing->gauge.get();
+  }
+  auto series = std::make_unique<Series>();
+  series->name = name;
+  series->help = help;
+  series->type = MetricType::kGauge;
+  series->labels = std::move(labels);
+  series->gauge = std::make_unique<Gauge>();
+  Gauge* handle = series->gauge.get();
+  series_.push_back(std::move(series));
+  return handle;
+}
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                         const std::string& help,
+                                         MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Series* existing = FindLocked(name, labels, MetricType::kHistogram)) {
+    return existing->histogram.get();
+  }
+  auto series = std::make_unique<Series>();
+  series->name = name;
+  series->help = help;
+  series->type = MetricType::kHistogram;
+  series->labels = std::move(labels);
+  series->histogram = std::make_unique<Histogram>();
+  Histogram* handle = series->histogram.get();
+  series_.push_back(std::move(series));
+  return handle;
+}
+
+uint64_t MetricsRegistry::AddCallback(const std::string& name,
+                                      const std::string& help,
+                                      MetricType type, MetricLabels labels,
+                                      std::function<double()> read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto series = std::make_unique<Series>();
+  series->name = name;
+  series->help = help;
+  series->type = type;
+  series->labels = std::move(labels);
+  series->callback = std::move(read);
+  series->callback_id = next_callback_id_++;
+  uint64_t id = series->callback_id;
+  series_.push_back(std::move(series));
+  return id;
+}
+
+void MetricsRegistry::RemoveCallback(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.erase(
+      std::remove_if(series_.begin(), series_.end(),
+                     [id](const std::unique_ptr<Series>& s) {
+                       return s->callback_id == id;
+                     }),
+      series_.end());
+}
+
+namespace {
+
+/// Escapes a label value for the exposition format (backslash, quote,
+/// newline).
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Read-time quantiles with exact label text (formatting 0.95 through
+/// a double→string round-trip yields "0.94999999999999996").
+struct QuantileSpec {
+  const char* label;
+  double value;
+};
+constexpr QuantileSpec kQuantiles[] = {
+    {"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+
+/// Labels plus one extra pair (histogram `le`, quantile).
+std::string RenderLabelsPlus(const MetricLabels& labels,
+                             const std::string& key,
+                             const std::string& value) {
+  MetricLabels extended = labels;
+  extended.emplace_back(key, value);
+  return RenderLabels(extended);
+}
+
+/// Doubles rendered like Prometheus clients: integral values without
+/// an exponent, everything else with enough digits to round-trip.
+std::string RenderValue(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::abs(value) < 1e15) {
+    return StrCat(static_cast<int64_t>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // Group series by metric name so each family gets exactly one
+  // HELP/TYPE block (exposition-format requirement), preserving the
+  // registration order of first appearance.
+  std::vector<std::string> order;
+  for (const auto& series : series_) {
+    if (std::find(order.begin(), order.end(), series->name) == order.end()) {
+      order.push_back(series->name);
+    }
+  }
+  for (const std::string& name : order) {
+    const Series* first = nullptr;
+    for (const auto& series : series_) {
+      if (series->name == name) {
+        first = series.get();
+        break;
+      }
+    }
+    out += StrCat("# HELP ", name, " ", first->help, "\n");
+    out += StrCat("# TYPE ", name, " ", TypeName(first->type), "\n");
+    std::string quantiles;  // histogram p50/p95/p99, emitted after
+    for (const auto& series : series_) {
+      if (series->name != name) continue;
+      if (series->callback != nullptr) {
+        out += StrCat(name, RenderLabels(series->labels), " ",
+                      RenderValue(series->callback()), "\n");
+      } else if (series->type == MetricType::kCounter) {
+        out += StrCat(name, RenderLabels(series->labels), " ",
+                      series->counter->Value(), "\n");
+      } else if (series->type == MetricType::kGauge) {
+        out += StrCat(name, RenderLabels(series->labels), " ",
+                      series->gauge->Value(), "\n");
+      } else {
+        const Histogram::Snapshot snap = series->histogram->Read();
+        int64_t cumulative = 0;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          cumulative += snap.buckets[b];
+          // Skip interior zero-delta buckets to keep scrapes small;
+          // always emit +Inf (== _count by construction).
+          if (snap.buckets[b] == 0 && b < Histogram::kBuckets - 1) continue;
+          const std::string le =
+              b >= Histogram::kBuckets - 1
+                  ? "+Inf"
+                  : StrCat(Histogram::Snapshot::BucketBound(b));
+          out += StrCat(name, "_bucket",
+                        RenderLabelsPlus(series->labels, "le", le), " ",
+                        cumulative, "\n");
+        }
+        out += StrCat(name, "_sum", RenderLabels(series->labels), " ",
+                      snap.sum, "\n");
+        out += StrCat(name, "_count", RenderLabels(series->labels), " ",
+                      snap.count, "\n");
+        for (const auto& q : kQuantiles) {
+          quantiles += StrCat(
+              name, "_quantile",
+              RenderLabelsPlus(series->labels, "quantile", q.label), " ",
+              RenderValue(snap.Quantile(q.value)), "\n");
+        }
+      }
+    }
+    if (!quantiles.empty()) {
+      out += StrCat("# HELP ", name,
+                    "_quantile read-time quantile estimates of ", name, "\n");
+      out += StrCat("# TYPE ", name, "_quantile gauge\n");
+      out += quantiles;
+    }
+  }
+  return out;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> samples;
+  for (const auto& series : series_) {
+    if (series->callback != nullptr) {
+      samples.push_back({series->name, series->labels, series->callback()});
+    } else if (series->type == MetricType::kCounter) {
+      samples.push_back({series->name, series->labels,
+                         static_cast<double>(series->counter->Value())});
+    } else if (series->type == MetricType::kGauge) {
+      samples.push_back({series->name, series->labels,
+                         static_cast<double>(series->gauge->Value())});
+    } else {
+      const Histogram::Snapshot snap = series->histogram->Read();
+      samples.push_back({series->name + "_count", series->labels,
+                         static_cast<double>(snap.count)});
+      samples.push_back({series->name + "_sum", series->labels,
+                         static_cast<double>(snap.sum)});
+      for (const auto& q : kQuantiles) {
+        MetricLabels labels = series->labels;
+        labels.emplace_back("quantile", q.label);
+        samples.push_back(
+            {series->name + "_quantile", labels, snap.Quantile(q.value)});
+      }
+    }
+  }
+  return samples;
+}
+
+double MetricsRegistry::CounterFamilyTotal(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0;
+  for (const auto& series : series_) {
+    if (series->name != name || series->type != MetricType::kCounter) continue;
+    total += series->callback != nullptr
+                 ? series->callback()
+                 : static_cast<double>(series->counter->Value());
+  }
+  return total;
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,192 @@
+#ifndef CHAINSPLIT_OBS_METRICS_H_
+#define CHAINSPLIT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chainsplit {
+
+/// MetricsRegistry — the process-wide telemetry surface (docs/
+/// observability.md). Every subsystem registers its counters, gauges
+/// and latency histograms here; the `:metrics` session command renders
+/// the whole registry as Prometheus text exposition, and the bench
+/// harness snapshots it into BENCH_*.json.
+///
+/// Hot-path cost model: Counter::Inc and Histogram::Record are
+/// wait-free — one relaxed fetch_add on a per-thread-sharded,
+/// cache-line-padded slot, no locks, no allocation. Registration and
+/// reading (Value/Snapshot/RenderPrometheus) take the registry mutex
+/// and sum the shards; they are rare (a scrape, a `:cache` view) and
+/// may observe concurrent updates torn *across* series but never a
+/// lost or out-of-thin-air update *within* one.
+
+/// Label set of one time series, fixed at registration.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+namespace obs_internal {
+
+/// Number of per-thread shards per hot counter. A power of two; 16
+/// slots * 64 bytes keeps a counter within a few cache lines while
+/// making cross-thread false sharing unlikely for typical worker
+/// counts.
+constexpr int kShards = 16;
+
+/// Stable per-thread shard index (hashed thread id).
+int ShardIndex();
+
+struct alignas(64) PaddedAtomic {
+  std::atomic<int64_t> value{0};
+};
+
+}  // namespace obs_internal
+
+/// A monotone counter. Inc is wait-free; Value sums the shards (a
+/// concurrent Inc may or may not be included — monotone either way).
+class Counter {
+ public:
+  void Inc(int64_t n = 1) {
+    shards_[obs_internal::ShardIndex()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  int64_t Value() const {
+    int64_t sum = 0;
+    for (const auto& shard : shards_) {
+      sum += shard.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  obs_internal::PaddedAtomic shards_[obs_internal::kShards];
+};
+
+/// A point-in-time value (queue depth, open connections). Set/Add are
+/// single-atomic; gauges are not sharded (they are read-modify-write
+/// of one logical value, not a tally).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A log-bucketed latency histogram over non-negative integer samples
+/// (the service records microseconds). Bucket b counts samples with
+/// value < 2^b (cumulative rendering happens at read time); the last
+/// bucket is +Inf. Record is wait-free: two relaxed fetch_adds on the
+/// caller's shard.
+class Histogram {
+ public:
+  /// Bucket upper bounds 2^0 .. 2^(kBuckets-2) plus +Inf: 1us .. ~67s
+  /// for microsecond samples.
+  static constexpr int kBuckets = 28;
+
+  void Record(int64_t value);
+
+  struct Snapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    /// Per-bucket (non-cumulative) counts.
+    int64_t buckets[kBuckets] = {};
+
+    /// Upper bound of bucket `b` (int64 max for the +Inf bucket).
+    static int64_t BucketBound(int b);
+    /// Quantile estimate (q in [0,1]) by linear interpolation within
+    /// the covering bucket. Returns 0 on an empty histogram.
+    double Quantile(double q) const;
+  };
+  Snapshot Read() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> buckets[kBuckets] = {};
+    std::atomic<int64_t> sum{0};
+  };
+  Shard shards_[obs_internal::kShards];
+};
+
+/// One rendered sample (Snapshot output and callback results).
+struct MetricSample {
+  std::string name;
+  MetricLabels labels;
+  double value = 0;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers one time series and returns its handle, owned by the
+  /// registry and valid for the registry's lifetime. Re-registering an
+  /// existing (name, labels) pair returns the existing handle — so
+  /// independent subsystems can share a series family.
+  Counter* AddCounter(const std::string& name, const std::string& help,
+                      MetricLabels labels = {});
+  Gauge* AddGauge(const std::string& name, const std::string& help,
+                  MetricLabels labels = {});
+  Histogram* AddHistogram(const std::string& name, const std::string& help,
+                          MetricLabels labels = {});
+
+  /// Registers a callback-backed series: `read` is invoked at render/
+  /// snapshot time (under the registry mutex — keep it cheap and
+  /// lock-ordered below any lock held while scraping). Returns an id
+  /// for RemoveCallback; the owner MUST remove the callback before the
+  /// state it reads dies (e.g. TcpServer::Stop unregisters its net
+  /// counters).
+  uint64_t AddCallback(const std::string& name, const std::string& help,
+                       MetricType type, MetricLabels labels,
+                       std::function<double()> read);
+  void RemoveCallback(uint64_t id);
+
+  /// Prometheus text exposition (version 0.0.4): one # HELP / # TYPE
+  /// block per metric name, histogram series rendered as _bucket
+  /// (cumulative, with le labels), _sum and _count, plus a computed
+  /// <name>_quantile gauge family carrying p50/p95/p99.
+  std::string RenderPrometheus() const;
+
+  /// Flat samples for programmatic access (bench snapshots, tests).
+  /// Histograms contribute <name>_count, <name>_sum and the three
+  /// quantile samples.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Sum of every sample of the counter family `name` (all label
+  /// sets, callbacks included). 0 when absent.
+  double CounterFamilyTotal(const std::string& name) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;
+    uint64_t callback_id = 0;
+  };
+
+  Series* FindLocked(const std::string& name, const MetricLabels& labels,
+                     MetricType type);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Series>> series_;
+  uint64_t next_callback_id_ = 1;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_OBS_METRICS_H_

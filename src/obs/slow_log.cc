@@ -1,0 +1,51 @@
+#include "obs/slow_log.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace chainsplit {
+
+SlowQueryLog::SlowQueryLog(std::string dir,
+                           std::chrono::milliseconds threshold)
+    : dir_(std::move(dir)), threshold_(threshold) {}
+
+int64_t SlowQueryLog::queries_logged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+StatusOr<std::string> SlowQueryLog::Record(
+    const Trace& trace, std::chrono::microseconds duration) {
+  if (!enabled() || duration < threshold_) return std::string();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dir_ready_) {
+      std::error_code ec;
+      std::filesystem::create_directories(dir_, ec);
+      if (ec) {
+        return InternalError(
+            StrCat("slow-query log: cannot create ", dir_, ": ",
+                   ec.message()));
+      }
+      dir_ready_ = true;
+    }
+    path = StrCat(dir_, "/slow-", ++seq_, "-", duration.count() / 1000,
+                  "ms.json");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return InternalError(StrCat("slow-query log: cannot open ", path));
+  }
+  out << trace.ToChromeJson();
+  out.close();
+  if (!out) {
+    return InternalError(StrCat("slow-query log: write failed on ", path));
+  }
+  return path;
+}
+
+}  // namespace chainsplit

@@ -1,0 +1,49 @@
+#ifndef CHAINSPLIT_OBS_SLOW_LOG_H_
+#define CHAINSPLIT_OBS_SLOW_LOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace chainsplit {
+
+/// SlowQueryLog — writes the Chrome-trace JSON of any over-threshold
+/// request into a directory (docs/observability.md §Slow-query log).
+///
+/// One file per slow query, named slow-<seq>-<duration_ms>ms.json so a
+/// directory listing sorts by occurrence and shows the damage at a
+/// glance. Thread-safe: concurrent slow queries serialize on the
+/// sequence mutex only for the filename, then write independently.
+class SlowQueryLog {
+ public:
+  /// `dir` is created if missing. `threshold` <= 0 disables the log
+  /// (Record becomes a cheap no-op).
+  SlowQueryLog(std::string dir, std::chrono::milliseconds threshold);
+
+  bool enabled() const { return threshold_.count() > 0; }
+  std::chrono::milliseconds threshold() const { return threshold_; }
+
+  /// Writes `trace` if `duration` exceeds the threshold. Returns the
+  /// path written (empty when under threshold or disabled); write
+  /// failures are returned as a Status but should not fail the query —
+  /// callers log and move on.
+  StatusOr<std::string> Record(const Trace& trace,
+                               std::chrono::microseconds duration);
+
+  int64_t queries_logged() const;
+
+ private:
+  const std::string dir_;
+  const std::chrono::milliseconds threshold_;
+  mutable std::mutex mu_;
+  int64_t seq_ = 0;
+  bool dir_ready_ = false;
+};
+
+}  // namespace chainsplit
+
+#endif  // CHAINSPLIT_OBS_SLOW_LOG_H_

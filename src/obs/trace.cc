@@ -1,0 +1,153 @@
+#include "obs/trace.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace chainsplit {
+
+namespace {
+
+// StrCat builds an ostringstream per call — too slow for a renderer
+// that runs once per span. Append in place instead.
+void AppendInt(std::string* out, int64_t value) {
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out->append(buf, end);
+}
+
+}  // namespace
+
+Trace::Trace(std::string name)
+    : t0_(Clock::now()), root_name_(std::move(name)) {
+  Span& root = inline_spans_[0];
+  root.parent = -1;
+  root.start_us = 0;
+  num_spans_ = 1;
+  open_.reserve(8);
+  open_.push_back(0);
+}
+
+int64_t Trace::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               t0_)
+      .count();
+}
+
+int Trace::BeginSpan(const char* name) {
+  const int id = num_spans_++;
+  if (id >= kInlineSpans) extra_spans_.emplace_back();
+  Span& s = span(id);
+  s.name = name;
+  s.parent = open_.empty() ? 0 : open_.back();
+  s.start_us = NowUs();
+  open_.push_back(id);
+  return id;
+}
+
+void Trace::EndSpan(int id) {
+  if (id < 0 || id >= num_spans_) return;
+  Span& s = span(id);
+  if (s.end_us < 0) s.end_us = NowUs();
+  // Pop through any children an error unwind left open — their end
+  // time is their parent's (they did not outlive it).
+  while (!open_.empty() && open_.back() != id) {
+    Span& dangling = span(open_.back());
+    if (dangling.end_us < 0) dangling.end_us = s.end_us;
+    open_.pop_back();
+  }
+  if (!open_.empty()) open_.pop_back();
+}
+
+void Trace::SetAttr(int id, const char* key, int64_t value) {
+  if (id < 0 || id >= num_spans_) return;
+  Span& s = span(id);
+  if (s.num_attrs >= kMaxAttrs) return;
+  Attr& attr = s.attrs[s.num_attrs++];
+  attr.key = key;
+  attr.string_value = nullptr;
+  attr.int_value = value;
+}
+
+void Trace::SetAttr(int id, const char* key, const char* value) {
+  if (id < 0 || id >= num_spans_) return;
+  Span& s = span(id);
+  if (s.num_attrs >= kMaxAttrs) return;
+  Attr& attr = s.attrs[s.num_attrs++];
+  attr.key = key;
+  attr.string_value = value;
+  attr.int_value = 0;
+}
+
+void Trace::Finish() {
+  while (!open_.empty()) EndSpan(open_.back());
+}
+
+std::chrono::microseconds Trace::duration() const {
+  const Span& root = inline_spans_[0];
+  return std::chrono::microseconds(root.end_us >= 0 ? root.end_us : NowUs());
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string Trace::ToChromeJson() const {
+  // Chrome trace_event format: an object with a "traceEvents" array of
+  // complete ("X") events. Nesting is positional (ts/dur containment),
+  // so the parent relation is also written explicitly into args.
+  std::string out = "{\"traceEvents\":[";
+  out.reserve(64 + static_cast<size_t>(num_spans_) * 160);
+  const int64_t now = NowUs();
+  for (int i = 0; i < num_spans_; ++i) {
+    const Span& s = span(i);
+    if (i > 0) out += ",";
+    const int64_t end = s.end_us >= 0 ? s.end_us : now;
+    out += "{\"name\":\"";
+    out += i == 0 ? JsonEscape(root_name_) : JsonEscape(s.name);
+    out += "\",\"cat\":\"query\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    AppendInt(&out, s.start_us);
+    out += ",\"dur\":";
+    AppendInt(&out, end - s.start_us);
+    out += ",\"args\":{\"span_id\":";
+    AppendInt(&out, i);
+    out += ",\"parent_id\":";
+    AppendInt(&out, s.parent);
+    for (int a = 0; a < s.num_attrs; ++a) {
+      const Attr& attr = s.attrs[a];
+      out += ",\"";
+      out += JsonEscape(attr.key);
+      out += "\":";
+      if (attr.string_value == nullptr) {
+        AppendInt(&out, attr.int_value);
+      } else {
+        out += "\"";
+        out += JsonEscape(attr.string_value);
+        out += "\"";
+      }
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace chainsplit

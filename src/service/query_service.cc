@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "ast/parser.h"
@@ -39,7 +40,128 @@ void QueryService::LruCache<V>::Erase(std::string_view key) {
 }
 
 QueryService::QueryService(ServiceOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  InitMetrics();
+}
+
+void QueryService::InitMetrics() {
+  c_.queries = registry_.AddCounter(
+      "csdd_queries_total", "Query statements evaluated (incl. embedded)");
+  c_.updates = registry_.AddCounter("csdd_updates_total",
+                                    "Update statements applied");
+  c_.plan_cache_hits = registry_.AddCounter(
+      "csdd_plan_cache_lookups_total", "Plan cache lookups by result",
+      {{"result", "hit"}});
+  c_.plan_cache_misses = registry_.AddCounter(
+      "csdd_plan_cache_lookups_total", "Plan cache lookups by result",
+      {{"result", "miss"}});
+  c_.result_cache_hits = registry_.AddCounter(
+      "csdd_result_cache_lookups_total", "Result cache lookups by result",
+      {{"result", "hit"}});
+  c_.result_cache_misses = registry_.AddCounter(
+      "csdd_result_cache_lookups_total", "Result cache lookups by result",
+      {{"result", "miss"}});
+  c_.result_cache_invalidations = registry_.AddCounter(
+      "csdd_result_cache_invalidations_total",
+      "Cached results dropped because a dependency's version moved");
+  c_.deadline_exceeded = registry_.AddCounter(
+      "csdd_evals_cut_total", "Evaluations cut short, by cause",
+      {{"cause", "deadline_exceeded"}});
+  c_.cancelled = registry_.AddCounter(
+      "csdd_evals_cut_total", "Evaluations cut short, by cause",
+      {{"cause", "cancelled"}});
+  c_.shared_evals = registry_.AddCounter(
+      "csdd_evals_total", "Uncached evaluations by lock mode",
+      {{"lock", "shared"}});
+  c_.exclusive_evals = registry_.AddCounter(
+      "csdd_evals_total", "Uncached evaluations by lock mode",
+      {{"lock", "exclusive"}});
+  c_.overlay_relations = registry_.AddCounter(
+      "csdd_overlay_relations_total",
+      "Query-local overlay relations materialized");
+  c_.overlay_bytes = registry_.AddCounter(
+      "csdd_overlay_bytes_total",
+      "Arena bytes of query-local overlay scratch");
+  c_.compacted_relations = registry_.AddCounter(
+      "csdd_compacted_relations_total",
+      "Relations marked read-mostly and postings-compacted");
+  c_.compaction_blocks_before = registry_.AddCounter(
+      "csdd_compaction_blocks_total", "Posting blocks around compaction",
+      {{"when", "before"}});
+  c_.compaction_blocks_after = registry_.AddCounter(
+      "csdd_compaction_blocks_total", "Posting blocks around compaction",
+      {{"when", "after"}});
+  c_.compaction_moved_blocks = registry_.AddCounter(
+      "csdd_compaction_moved_blocks_total",
+      "Posting blocks rewritten by compaction");
+  const char* outcome_help =
+      "Service requests by outcome (the TCP server adds "
+      "rejected_overload/rejected_oversize series to this family)";
+  c_.outcome_ok = registry_.AddCounter("csdd_requests_total", outcome_help,
+                                       {{"outcome", "ok"}});
+  c_.outcome_error = registry_.AddCounter("csdd_requests_total", outcome_help,
+                                          {{"outcome", "error"}});
+  c_.outcome_deadline_exceeded = registry_.AddCounter(
+      "csdd_requests_total", outcome_help, {{"outcome", "deadline_exceeded"}});
+  c_.outcome_cancelled = registry_.AddCounter(
+      "csdd_requests_total", outcome_help, {{"outcome", "cancelled"}});
+  c_.fixpoint_iterations = registry_.AddCounter(
+      "csdd_fixpoint_iterations_total",
+      "Semi-naive fixpoint iterations over all uncached queries");
+  c_.derived_tuples = registry_.AddCounter(
+      "csdd_derived_tuples_total",
+      "Tuples derived by the semi-naive evaluator");
+  c_.chain_levels = registry_.AddCounter(
+      "csdd_chain_levels_total",
+      "Forward levels walked by the buffered chain-split evaluator");
+  c_.sld_steps = registry_.AddCounter("csdd_sld_steps_total",
+                                      "Top-down SLD resolution steps");
+  c_.slow_queries = registry_.AddCounter(
+      "csdd_slow_queries_total", "Queries written to the slow-query log");
+  c_.query_latency = registry_.AddHistogram(
+      "csdd_query_latency_us", "End-to-end Query() latency in microseconds");
+  // Storage-layer view of the base database: relation count and total
+  // rows, read under the shared db lock at scrape time.
+  registry_.AddCallback("csdd_storage_relations",
+                        "Stored relations in the base database",
+                        MetricType::kGauge, {}, [this] {
+                          std::shared_lock<std::shared_mutex> lock(db_mu_);
+                          return static_cast<double>(
+                              db_.StoredPredicates().size());
+                        });
+  registry_.AddCallback("csdd_storage_rows",
+                        "Total stored tuples in the base database",
+                        MetricType::kGauge, {}, [this] {
+                          std::shared_lock<std::shared_mutex> lock(db_mu_);
+                          double rows = 0;
+                          for (PredId pred : db_.StoredPredicates()) {
+                            const Relation* rel = db_.GetRelation(pred);
+                            if (rel != nullptr) rows += rel->num_rows();
+                          }
+                          return rows;
+                        });
+}
+
+Counter* QueryService::OutcomeCounter(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return c_.outcome_ok;
+    case StatusCode::kDeadlineExceeded:
+      return c_.outcome_deadline_exceeded;
+    case StatusCode::kCancelled:
+      return c_.outcome_cancelled;
+    default:
+      return c_.outcome_error;
+  }
+}
+
+void QueryService::AccumulateEvalStats(const QueryResponse& response) {
+  if (response.result_cache_hit) return;
+  c_.fixpoint_iterations->Inc(response.seminaive_stats.iterations);
+  c_.derived_tuples->Inc(response.seminaive_stats.total_derived);
+  c_.chain_levels->Inc(response.buffered_stats.levels);
+  c_.sld_steps->Inc(response.topdown_stats.steps);
+}
 
 QueryService::~QueryService() {
   {
@@ -77,6 +199,47 @@ StatusOr<RecoveryResult> QueryService::EnableDurability(
   if (options.snapshot_every_records > 0) {
     checkpointer_ = std::thread([this] { CheckpointerLoop(); });
   }
+  // Expose the durability counters as registry callbacks: `:wal` and
+  // `:metrics` read the same live state. wal_ is never reset, so the
+  // captured `this` accesses are safe for the service's lifetime.
+  registry_.AddCallback("csdd_wal_records_total", "WAL records appended",
+                        MetricType::kCounter, {}, [this] {
+                          return static_cast<double>(wal_->stats().records);
+                        });
+  registry_.AddCallback("csdd_wal_bytes_total", "WAL bytes appended",
+                        MetricType::kCounter, {}, [this] {
+                          return static_cast<double>(wal_->stats().bytes);
+                        });
+  registry_.AddCallback("csdd_wal_syncs_total", "WAL fsync calls",
+                        MetricType::kCounter, {}, [this] {
+                          return static_cast<double>(wal_->stats().syncs);
+                        });
+  registry_.AddCallback(
+      "csdd_wal_segments_total", "WAL segments created", MetricType::kCounter,
+      {}, [this] {
+        return static_cast<double>(wal_->stats().segments_created);
+      });
+  registry_.AddCallback("csdd_wal_last_lsn", "Highest LSN appended",
+                        MetricType::kGauge, {}, [this] {
+                          return static_cast<double>(wal_->stats().last_lsn);
+                        });
+  registry_.AddCallback("csdd_snapshot_lsn",
+                        "LSN of the newest durable snapshot",
+                        MetricType::kGauge, {}, [this] {
+                          std::lock_guard<std::mutex> lock(checkpoint_mu_);
+                          return static_cast<double>(durable_snapshot_lsn_);
+                        });
+  registry_.AddCallback("csdd_snapshots_total", "Snapshots written",
+                        MetricType::kCounter, {}, [this] {
+                          std::lock_guard<std::mutex> lock(checkpoint_mu_);
+                          return static_cast<double>(snapshots_written_);
+                        });
+  registry_.AddCallback("csdd_checkpoint_failures_total",
+                        "Failed checkpoint attempts", MetricType::kCounter,
+                        {}, [this] {
+                          std::lock_guard<std::mutex> lock(checkpoint_mu_);
+                          return static_cast<double>(checkpoint_failures_);
+                        });
   return recovered;
 }
 
@@ -221,16 +384,53 @@ uint64_t QueryService::rules_epoch() const {
 }
 
 ServiceStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  return stats_;
+  // A thin view over the registry: each field reads its backing
+  // counter. No lock — counter reads are wait-free shard sums.
+  ServiceStats out;
+  out.queries = c_.queries->Value();
+  out.updates = c_.updates->Value();
+  out.plan_cache_hits = c_.plan_cache_hits->Value();
+  out.plan_cache_misses = c_.plan_cache_misses->Value();
+  out.result_cache_hits = c_.result_cache_hits->Value();
+  out.result_cache_misses = c_.result_cache_misses->Value();
+  out.result_cache_invalidations = c_.result_cache_invalidations->Value();
+  out.deadline_exceeded = c_.deadline_exceeded->Value();
+  out.cancelled = c_.cancelled->Value();
+  out.shared_evals = c_.shared_evals->Value();
+  out.exclusive_evals = c_.exclusive_evals->Value();
+  out.overlay_relations = c_.overlay_relations->Value();
+  out.overlay_bytes = c_.overlay_bytes->Value();
+  out.compacted_relations = c_.compacted_relations->Value();
+  out.compaction_blocks_before = c_.compaction_blocks_before->Value();
+  out.compaction_blocks_after = c_.compaction_blocks_after->Value();
+  out.compaction_moved_blocks = c_.compaction_moved_blocks->Value();
+  return out;
 }
 
 void QueryService::CountStatus(const Status& status) {
   if (status.code() == StatusCode::kDeadlineExceeded) {
-    ++stats_.deadline_exceeded;
+    c_.deadline_exceeded->Inc();
   } else if (status.code() == StatusCode::kCancelled) {
-    ++stats_.cancelled;
+    c_.cancelled->Inc();
   }
+}
+
+std::string QueryService::last_trace_json() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return last_trace_.has_value() ? last_trace_->ToChromeJson() : std::string();
+}
+
+void QueryService::EnableSlowQueryLog(std::string dir,
+                                      std::chrono::milliseconds threshold) {
+  if (threshold.count() <= 0) {
+    slow_log_.reset();
+    return;
+  }
+  slow_log_ = std::make_unique<SlowQueryLog>(std::move(dir), threshold);
+}
+
+int64_t QueryService::slow_queries_logged() const {
+  return slow_log_ == nullptr ? 0 : slow_log_->queries_logged();
 }
 
 const std::vector<Rule>* QueryService::RectifiedRules() {
@@ -277,28 +477,29 @@ void QueryService::CompactDeps(
     if (db_.GetRelation(pred) == nullptr) continue;
     Relation* rel = db_.GetOrCreateRelation(pred);
     if (rel->num_rows() == 0) continue;
-    Relation::CompactionStats c = rel->CompactPostings();
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    ++stats_.compacted_relations;
-    stats_.compaction_blocks_before += c.blocks_before;
-    stats_.compaction_blocks_after += c.blocks_after;
-    stats_.compaction_moved_blocks += c.moved_blocks;
+    Relation::CompactionStats compaction = rel->CompactPostings();
+    c_.compacted_relations->Inc();
+    c_.compaction_blocks_before->Inc(compaction.blocks_before);
+    c_.compaction_blocks_after->Inc(compaction.blocks_after);
+    c_.compaction_moved_blocks->Inc(compaction.moved_blocks);
   }
 }
 
 Status QueryService::RunPlanner(EvalDb* eval_db,
                                 const ::chainsplit::Query& query,
                                 const std::string& signature,
-                                const CancelToken* cancel,
+                                const CancelToken* cancel, Trace* trace,
                                 QueryResponse* response,
                                 QueryResult* result) {
   PlannerOptions planner = options_.planner;
   planner.cancel = cancel;
+  planner.trace = trace;
   planner.rectified = RectifiedRules();
 
   std::shared_ptr<PlanEntry> plan;
   if (options_.enable_plan_cache && !signature.empty() &&
       !planner.force.has_value()) {
+    TraceSpan lookup_span(trace, "plan_cache_lookup");
     std::lock_guard<std::mutex> lock(cache_mu_);
     plan = plan_cache_.Get(signature);
     if (plan != nullptr && plan->rules_epoch != rules_epoch_) {
@@ -311,10 +512,11 @@ Status QueryService::RunPlanner(EvalDb* eval_db,
       plan = nullptr;
     }
     if (plan != nullptr) {
-      ++stats_.plan_cache_hits;
+      c_.plan_cache_hits->Inc();
     } else {
-      ++stats_.plan_cache_misses;
+      c_.plan_cache_misses->Inc();
     }
+    lookup_span.Attr("hit", plan != nullptr ? int64_t{1} : int64_t{0});
   }
   if (plan != nullptr) {
     planner.force = plan->technique;
@@ -371,8 +573,8 @@ QueryResponse QueryService::EvaluateOn(EvalDb* eval_db,
       (deadline.count() > 0 || request.cancel != nullptr) ? &token : nullptr;
 
   QueryResult result;
-  response.status =
-      RunPlanner(eval_db, query, signature, cancel, &response, &result);
+  response.status = RunPlanner(eval_db, query, signature, cancel,
+                               request.trace, &response, &result);
   response.technique = result.technique;
   response.plan = std::move(result.plan);
   response.seminaive_stats = result.seminaive_stats;
@@ -401,7 +603,9 @@ QueryResponse QueryService::EvaluateUncached(
   Program& program = eval_db->program();
   // ParseQueryOnly leaves the program untouched apart from interning
   // (internally synchronized), so this is safe under the shared lock.
+  TraceSpan parse_span(request.trace, "parse");
   StatusOr<::chainsplit::Query> parsed = ParseQueryOnly(text, &program);
+  parse_span.End();
   if (!parsed.ok()) {
     response.status = parsed.status();
     return response;
@@ -420,6 +624,44 @@ QueryResponse QueryService::EvaluateUncached(
 
 QueryResponse QueryService::Query(std::string_view text,
                                   const RequestOptions& request) {
+  const auto start = std::chrono::steady_clock::now();
+  // Trace when the caller supplied a sink, when tracing is toggled on,
+  // or when the slow-query log is armed (its trace is only written if
+  // the query turns out slow). The common untraced path pays two
+  // relaxed loads and nothing else.
+  std::optional<Trace> owned;
+  RequestOptions req = request;
+  if (req.trace == nullptr &&
+      (tracing_.load(std::memory_order_relaxed) ||
+       (slow_log_ != nullptr && slow_log_->enabled()))) {
+    owned.emplace(std::string(text));
+    req.trace = &*owned;
+  }
+
+  QueryResponse response = QueryImpl(text, req);
+
+  const auto duration = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  c_.query_latency->Record(duration.count());
+  OutcomeCounter(response.status.code())->Inc();
+  AccumulateEvalStats(response);
+  if (req.trace != nullptr) req.trace->Finish();
+  if (owned.has_value()) {
+    if (slow_log_ != nullptr) {
+      StatusOr<std::string> logged = slow_log_->Record(*owned, duration);
+      if (logged.ok() && !logged->empty()) c_.slow_queries->Inc();
+    }
+    if (tracing_.load(std::memory_order_relaxed)) {
+      // Keep the span tree itself; `:trace last` renders it on demand.
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      last_trace_.emplace(std::move(*owned));
+    }
+  }
+  return response;
+}
+
+QueryResponse QueryService::QueryImpl(std::string_view text,
+                                      const RequestOptions& request) {
   QueryResponse response;
   std::optional<CanonicalQueryText> canonical = CanonicalizeQueryText(text);
   if (!canonical.has_value()) {
@@ -427,14 +669,12 @@ QueryResponse QueryService::Query(std::string_view text,
         "Query() expects a single `?- goal, ... .` statement");
     return response;
   }
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    ++stats_.queries;
-  }
+  c_.queries->Inc();
 
   const bool use_result_cache =
       options_.enable_result_cache && !request.bypass_cache;
   if (use_result_cache) {
+    TraceSpan lookup_span(request.trace, "result_cache_lookup");
     std::shared_ptr<ResultEntry> entry;
     {
       std::lock_guard<std::mutex> lock(cache_mu_);
@@ -467,16 +707,19 @@ QueryResponse QueryService::Query(std::string_view text,
         response.seminaive_stats = entry->seminaive_stats;
         response.buffered_stats = entry->buffered_stats;
         response.topdown_stats = entry->topdown_stats;
-        std::lock_guard<std::mutex> lock(cache_mu_);
-        ++stats_.result_cache_hits;
+        c_.result_cache_hits->Inc();
+        lookup_span.Attr("hit", int64_t{1});
         return response;
       }
-      std::lock_guard<std::mutex> lock(cache_mu_);
-      result_cache_.Erase(canonical->key);
-      if (stale_deps) ++stats_.result_cache_invalidations;
+      {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        result_cache_.Erase(canonical->key);
+      }
+      if (stale_deps) c_.result_cache_invalidations->Inc();
+      lookup_span.Attr("invalidated", stale_deps ? int64_t{1} : int64_t{0});
     }
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    ++stats_.result_cache_misses;
+    c_.result_cache_misses->Inc();
+    lookup_span.Attr("hit", int64_t{0});
   }
 
   // Miss (or bypass): parse and evaluate. The default path holds only
@@ -489,33 +732,36 @@ QueryResponse QueryService::Query(std::string_view text,
   const bool want_deps = use_result_cache;
   uint64_t epoch_at_eval = 0;
   if (request.force_exclusive) {
+    TraceSpan eval_span(request.trace, "evaluate");
+    eval_span.Attr("lock", "exclusive");
     std::unique_lock<std::shared_mutex> db_lock(db_mu_);
     {
       std::lock_guard<std::mutex> lock(cache_mu_);
-      ++stats_.exclusive_evals;
       epoch_at_eval = rules_epoch_;
     }
+    c_.exclusive_evals->Inc();
     response = EvaluateUncached(&db_, text, request, want_deps, &deps);
   } else {
+    TraceSpan eval_span(request.trace, "evaluate");
+    eval_span.Attr("lock", "shared");
     std::shared_lock<std::shared_mutex> db_lock(db_mu_);
     {
       std::lock_guard<std::mutex> lock(cache_mu_);
-      ++stats_.shared_evals;
       epoch_at_eval = rules_epoch_;
     }
+    c_.shared_evals->Inc();
     DatabaseOverlay overlay(&db_);
     response = EvaluateUncached(&overlay, text, request, want_deps, &deps);
     DatabaseOverlay::Telemetry scratch = overlay.telemetry();
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    stats_.overlay_relations += scratch.relations;
-    stats_.overlay_bytes += scratch.arena_bytes;
+    c_.overlay_relations->Inc(scratch.relations);
+    c_.overlay_bytes->Inc(scratch.arena_bytes);
+    eval_span.Attr("overlay_relations", scratch.relations);
+    eval_span.Attr("overlay_bytes", scratch.arena_bytes);
   }
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    CountStatus(response.status);
-  }
+  CountStatus(response.status);
   if (!response.status.ok() || !use_result_cache) return response;
 
+  TraceSpan store_span(request.trace, "result_cache_store");
   auto entry = std::make_shared<ResultEntry>();
   entry->deps = std::move(deps);
   // Stamp the epoch observed *during* evaluation (captured under the
@@ -529,6 +775,8 @@ QueryResponse QueryService::Query(std::string_view text,
   entry->seminaive_stats = response.seminaive_stats;
   entry->buffered_stats = response.buffered_stats;
   entry->topdown_stats = response.topdown_stats;
+  store_span.Attr("rows", static_cast<int64_t>(entry->rows.size()));
+  store_span.Attr("deps", static_cast<int64_t>(entry->deps.size()));
   CompactDeps(entry->deps);
   std::lock_guard<std::mutex> lock(cache_mu_);
   result_cache_.Put(canonical->key, std::move(entry),
@@ -554,7 +802,10 @@ Status QueryService::TestOnlyInjectPlanEntry(std::string_view query_text,
 
 UpdateResponse QueryService::Update(std::string_view text,
                                     const RequestOptions& request) {
-  return UpdateInternal(text, request, /*log=*/true, /*run_queries=*/true);
+  UpdateResponse response =
+      UpdateInternal(text, request, /*log=*/true, /*run_queries=*/true);
+  OutcomeCounter(response.status.code())->Inc();
+  return response;
 }
 
 UpdateResponse QueryService::UpdateInternal(std::string_view text,
@@ -569,10 +820,7 @@ UpdateResponse QueryService::UpdateInternal(std::string_view text,
   const size_t queries_before = marker.queries;
 
   response.status = ParseProgram(text, &program);
-  if (log) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    ++stats_.updates;
-  }
+  if (log) c_.updates->Inc();
   if (!response.status.ok()) {
     // The parser appends clauses as it goes: without this rollback a
     // mid-text error would leave the valid prefix applied (rules
@@ -625,14 +873,11 @@ UpdateResponse QueryService::UpdateInternal(std::string_view text,
     QueryResponse qr =
         EvaluateOn(&overlay, query, PlanSignature(program, query), request);
     DatabaseOverlay::Telemetry scratch = overlay.telemetry();
-    {
-      std::lock_guard<std::mutex> lock(cache_mu_);
-      ++stats_.queries;
-      ++stats_.exclusive_evals;
-      stats_.overlay_relations += scratch.relations;
-      stats_.overlay_bytes += scratch.arena_bytes;
-      CountStatus(qr.status);
-    }
+    c_.queries->Inc();
+    c_.exclusive_evals->Inc();
+    c_.overlay_relations->Inc(scratch.relations);
+    c_.overlay_bytes->Inc(scratch.arena_bytes);
+    CountStatus(qr.status);
     response.query_responses.push_back(std::move(qr));
   }
   return response;
@@ -668,10 +913,7 @@ StatusOr<int64_t> QueryService::LoadCsvContent(const std::string& name,
                                                std::string_view content,
                                                char delimiter, bool log) {
   std::unique_lock<std::shared_mutex> db_lock(db_mu_);
-  if (log) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    ++stats_.updates;
-  }
+  if (log) c_.updates->Inc();
   PredId pred = db_.program().InternPred(name, arity);
   CsvOptions options;
   options.delimiter = delimiter;

@@ -1,11 +1,13 @@
 #ifndef CHAINSPLIT_SERVICE_QUERY_SERVICE_H_
 #define CHAINSPLIT_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <thread>
 #include <string>
@@ -19,6 +21,9 @@
 #include "common/status.h"
 #include "core/plan_signature.h"
 #include "core/planner.h"
+#include "obs/metrics.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "rel/catalog.h"
 #include "storage/recovery.h"
 #include "storage/snapshot.h"
@@ -90,6 +95,10 @@ struct RequestOptions {
   /// base); differential tests compare its answers byte-for-byte
   /// against the overlay path.
   bool force_exclusive = false;
+  /// Optional caller-owned trace sink. When null the service makes its
+  /// own Trace if tracing is on (`:trace on`) or the slow-query log is
+  /// armed; otherwise the request runs untraced.
+  Trace* trace = nullptr;
 };
 
 /// One answered query. Rows are pre-formatted strings: a cache hit
@@ -163,7 +172,10 @@ struct DurabilityStats {
   int64_t skipped_records = 0;
 };
 
-/// Service-wide counters (monotone; read with stats()).
+/// Service-wide counters (monotone; read with stats()). Since the
+/// observability layer landed these are a *view* over the metrics
+/// registry — every field is backed by a registry counter (metric
+/// names in docs/observability.md) and stats() reads the live values.
 struct ServiceStats {
   int64_t queries = 0;
   int64_t updates = 0;
@@ -260,6 +272,32 @@ class QueryService {
   ServiceStats stats() const;
   uint64_t rules_epoch() const;
 
+  /// The service-owned metrics registry: every service counter lives
+  /// here, the TCP server registers its net counters here, and
+  /// `:metrics` renders it (Prometheus text exposition). Registration
+  /// and reads are thread-safe.
+  MetricsRegistry* metrics() { return &registry_; }
+  const MetricsRegistry* metrics() const { return &registry_; }
+
+  /// Per-query tracing toggle (`:trace on|off`). While on, every
+  /// Query() records a span tree (parse, cache lookups, planner
+  /// phases, per-iteration fixpoint spans) and the most recent one is
+  /// kept for `:trace last`.
+  void set_tracing(bool on) { tracing_.store(on, std::memory_order_relaxed); }
+  bool tracing() const { return tracing_.load(std::memory_order_relaxed); }
+
+  /// Chrome trace_event JSON of the most recently completed traced
+  /// query; empty string until one finishes with tracing on.
+  std::string last_trace_json() const;
+
+  /// Arms the slow-query log: every Query() at or above `threshold`
+  /// writes its trace JSON to `dir` (one file per slow query). Like
+  /// EnableDurability, a single-threaded setup call made before the
+  /// service serves concurrently. A zero/negative threshold disables.
+  void EnableSlowQueryLog(std::string dir,
+                          std::chrono::milliseconds threshold);
+  int64_t slow_queries_logged() const;
+
  private:
   struct ResultEntry {
     /// (pred, relation version) snapshot of every relation the query
@@ -311,6 +349,11 @@ class QueryService {
   /// the base), consulting the plan cache. `signature` may be empty to
   /// skip the plan cache (bypass mode). (The AST type is written
   /// qualified — the Query() method shadows it in class scope.)
+  /// Query() minus the observability epilogue: the public Query()
+  /// wraps this with latency/outcome recording, trace finishing and
+  /// the slow-query log.
+  QueryResponse QueryImpl(std::string_view text,
+                          const RequestOptions& request);
   QueryResponse EvaluateOn(EvalDb* eval_db, const ::chainsplit::Query& query,
                            const std::string& signature,
                            const RequestOptions& request);
@@ -324,7 +367,8 @@ class QueryService {
   /// cached forced technique turns out inapplicable.
   Status RunPlanner(EvalDb* eval_db, const ::chainsplit::Query& query,
                     const std::string& signature, const CancelToken* cancel,
-                    QueryResponse* response, QueryResult* result);
+                    Trace* trace, QueryResponse* response,
+                    QueryResult* result);
   /// Rectified rules of the current epoch, computed on first use.
   /// Mutex-guarded so concurrent shared-lock evaluations can share the
   /// one rectification per epoch.
@@ -338,6 +382,14 @@ class QueryService {
   std::vector<std::pair<PredId, uint64_t>> SnapshotDeps(
       const std::vector<PredId>& preds);
   void CountStatus(const Status& status);
+  /// Registers every service-owned series on registry_ and fills c_.
+  void InitMetrics();
+  /// The csdd_requests_total{outcome=...} counter for `code`.
+  Counter* OutcomeCounter(StatusCode code);
+  /// Accumulates one finished request's evaluator work measures onto
+  /// the registry (skipped for result-cache hits — the cached stats
+  /// describe work done at fill time, not now).
+  void AccumulateEvalStats(const QueryResponse& response);
 
   /// The one mutation path behind Update() and WAL replay. Discipline:
   /// validate (parse with rollback) → log → apply, so the applied
@@ -384,7 +436,54 @@ class QueryService {
   std::vector<Rule> rectified_;
   bool rectified_valid_ = false;
   std::unordered_set<PredId> read_mostly_;
-  ServiceStats stats_;
+
+  /// Handles into registry_ for every service-owned series; the
+  /// registry owns the instruments, so raw pointers stay valid for the
+  /// service's lifetime. Counter/Gauge/Histogram updates are wait-free
+  /// — none of these need cache_mu_.
+  struct Counters {
+    Counter* queries = nullptr;
+    Counter* updates = nullptr;
+    Counter* plan_cache_hits = nullptr;
+    Counter* plan_cache_misses = nullptr;
+    Counter* result_cache_hits = nullptr;
+    Counter* result_cache_misses = nullptr;
+    Counter* result_cache_invalidations = nullptr;
+    Counter* deadline_exceeded = nullptr;
+    Counter* cancelled = nullptr;
+    Counter* shared_evals = nullptr;
+    Counter* exclusive_evals = nullptr;
+    Counter* overlay_relations = nullptr;
+    Counter* overlay_bytes = nullptr;
+    Counter* compacted_relations = nullptr;
+    Counter* compaction_blocks_before = nullptr;
+    Counter* compaction_blocks_after = nullptr;
+    Counter* compaction_moved_blocks = nullptr;
+    /// csdd_requests_total{outcome=...}: one bump per top-level
+    /// Query()/Update(); the TCP server adds rejected_overload /
+    /// rejected_oversize series to the same family.
+    Counter* outcome_ok = nullptr;
+    Counter* outcome_error = nullptr;
+    Counter* outcome_deadline_exceeded = nullptr;
+    Counter* outcome_cancelled = nullptr;
+    /// Evaluator work aggregated over non-cache-hit queries.
+    Counter* fixpoint_iterations = nullptr;
+    Counter* derived_tuples = nullptr;
+    Counter* chain_levels = nullptr;
+    Counter* sld_steps = nullptr;
+    Counter* slow_queries = nullptr;
+    Histogram* query_latency = nullptr;
+  };
+  MetricsRegistry registry_;
+  Counters c_;
+
+  std::atomic<bool> tracing_{false};
+  std::unique_ptr<SlowQueryLog> slow_log_;
+  /// Guards last_trace_ only. The finished Trace is stored as-is and
+  /// rendered to JSON on demand — serializing inline would tax every
+  /// traced query for output only `:trace last` reads.
+  mutable std::mutex trace_mu_;
+  std::optional<Trace> last_trace_;
 
   // Durability (all null/zero until EnableDurability).
   //

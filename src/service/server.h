@@ -90,6 +90,13 @@ class TcpServer {
  private:
   StatusOr<int> StartThreaded(int listen_fd);
   StatusOr<int> StartEpoll(int listen_fd);
+  /// Publishes counters_ on the service's metrics registry as
+  /// csdd_net_* series (labelled with the bound port), plus
+  /// rejected_overload/rejected_oversize outcomes joining the
+  /// service's csdd_requests_total family so service- and net-level
+  /// request totals reconcile. Stop() unregisters them.
+  void RegisterMetrics();
+  void UnregisterMetrics();
   void AcceptLoop();
   /// `self` is this thread's node in threads_; on exit the thread moves
   /// its own handle to reaped_ (unless Stop() already took ownership).
@@ -104,6 +111,9 @@ class TcpServer {
   CancelToken shutdown_;
   NetCounters counters_;
   int port_ = 0;
+  /// Registry callback ids owned by this server (see RegisterMetrics);
+  /// removed before the counters they read can die.
+  std::vector<uint64_t> metric_callbacks_;
 
   // Epoll mode.
   std::unique_ptr<EpollEngine> engine_;

@@ -22,10 +22,13 @@ const char* Session::HelpText() {
       "  :stats                  toggle evaluation statistics\n"
       "  :deadline MS            per-query deadline (0 = none)\n"
       "  :preds                  list predicates with stored facts\n"
-      "  :cache                  service cache/deadline counters\n"
-      "  :net                    network front-end counters\n"
+      "  :cache [json]           service cache/deadline counters\n"
+      "  :net [json]             network front-end counters\n"
+      "  :metrics                Prometheus text exposition of all series\n"
+      "  :trace on|off|last      per-query tracing; `last` prints the\n"
+      "                          newest trace (Chrome trace_event JSON)\n"
       "  :snapshot               write a snapshot, truncate the WAL\n"
-      "  :wal                    durability counters (WAL/snapshots)\n"
+      "  :wal [json]             durability counters (WAL/snapshots)\n"
       "  :quit                   exit\n";
 }
 
@@ -135,6 +138,25 @@ bool Session::HandleCommand(const std::string& line, std::string* out) {
     for (const auto& [name, size] : service_->ListPredicates()) {
       *out += StrCat("  ", name, "  ", size, " tuples\n");
     }
+  } else if (cmd == ":cache" && args == "json") {
+    ServiceStats s = service_->stats();
+    *out += StrCat(
+        "{\"queries\":", s.queries, ",\"updates\":", s.updates,
+        ",\"result_cache\":{\"hits\":", s.result_cache_hits,
+        ",\"misses\":", s.result_cache_misses,
+        ",\"invalidations\":", s.result_cache_invalidations, "}",
+        ",\"plan_cache\":{\"hits\":", s.plan_cache_hits,
+        ",\"misses\":", s.plan_cache_misses, "}",
+        ",\"evals\":{\"shared\":", s.shared_evals,
+        ",\"exclusive\":", s.exclusive_evals, "}",
+        ",\"overlay\":{\"relations\":", s.overlay_relations,
+        ",\"bytes\":", s.overlay_bytes, "}",
+        ",\"deadline_exceeded\":", s.deadline_exceeded,
+        ",\"cancelled\":", s.cancelled,
+        ",\"compaction\":{\"relations\":", s.compacted_relations,
+        ",\"blocks_before\":", s.compaction_blocks_before,
+        ",\"blocks_after\":", s.compaction_blocks_after,
+        ",\"moved_blocks\":", s.compaction_moved_blocks, "}}\n");
   } else if (cmd == ":cache") {
     ServiceStats stats = service_->stats();
     *out += StrCat("% queries ", stats.queries, ", updates ", stats.updates,
@@ -152,6 +174,30 @@ bool Session::HandleCommand(const std::string& line, std::string* out) {
                    "% compacted ", stats.compacted_relations, " relations (",
                    stats.compaction_blocks_before, " -> ",
                    stats.compaction_blocks_after, " posting blocks)\n");
+  } else if (cmd == ":metrics") {
+    *out += service_->metrics()->RenderPrometheus();
+  } else if (cmd == ":trace") {
+    if (args == "on") {
+      service_->set_tracing(true);
+      *out += "% tracing on\n";
+    } else if (args == "off") {
+      service_->set_tracing(false);
+      *out += "% tracing off\n";
+    } else if (args == "last") {
+      std::string json = service_->last_trace_json();
+      if (json.empty()) {
+        ++error_count_;
+        *out += "% no trace recorded yet (:trace on, then run a query)\n";
+      } else {
+        *out += json;
+        *out += "\n";
+      }
+    } else if (args.empty()) {
+      *out += StrCat("% tracing ", service_->tracing() ? "on" : "off", "\n");
+    } else {
+      ++error_count_;
+      *out += "usage: :trace on|off|last\n";
+    }
   } else if (cmd == ":snapshot") {
     SnapshotWriteStats snap;
     Status status = service_->Checkpoint(&snap);
@@ -161,6 +207,27 @@ bool Session::HandleCommand(const std::string& line, std::string* out) {
     } else {
       *out += StrCat("% snapshot at lsn ", snap.lsn, " (", snap.bytes,
                      " bytes) -> ", snap.path, "\n");
+    }
+  } else if (cmd == ":wal" && args == "json") {
+    DurabilityStats d = service_->durability_stats();
+    if (!d.enabled) {
+      *out += "{\"enabled\":false}\n";
+    } else {
+      *out += StrCat(
+          "{\"enabled\":true,\"data_dir\":\"", JsonEscape(d.data_dir),
+          "\",\"sync\":\"", JsonEscape(WalSyncPolicyToString(d.sync)),
+          "\",\"wal\":{\"records\":", d.wal_records,
+          ",\"bytes\":", d.wal_bytes, ",\"syncs\":", d.wal_syncs,
+          ",\"segments\":", d.wal_segments_created,
+          ",\"last_lsn\":", d.last_lsn, "}",
+          ",\"snapshots\":{\"written\":", d.snapshots_written,
+          ",\"newest_lsn\":", d.snapshot_lsn,
+          ",\"failures\":", d.checkpoint_failures, "}",
+          ",\"recovery\":{\"cold_start\":",
+          d.recovery_cold_start ? "true" : "false",
+          ",\"torn_tail\":", d.recovery_torn_tail ? "true" : "false",
+          ",\"replayed\":", d.replayed_records,
+          ",\"skipped\":", d.skipped_records, "}}\n");
     }
   } else if (cmd == ":wal") {
     DurabilityStats dur = service_->durability_stats();
@@ -183,6 +250,29 @@ bool Session::HandleCommand(const std::string& line, std::string* out) {
           dur.replayed_records, " replayed, ", dur.skipped_records,
           " skipped", dur.recovery_torn_tail ? ", torn tail dropped" : "",
           "\n");
+    }
+  } else if (cmd == ":net" && args == "json") {
+    const NetCounters* net = options_.net;
+    if (net == nullptr) {
+      *out += "{\"enabled\":false}\n";
+    } else {
+      auto load = [](const std::atomic<int64_t>& v) {
+        return v.load(std::memory_order_relaxed);
+      };
+      *out += StrCat(
+          "{\"enabled\":true,\"mode\":\"", JsonEscape(net->mode),
+          "\",\"workers\":", net->workers,
+          ",\"queue\":{\"depth\":", load(net->queue_depth),
+          ",\"capacity\":", net->queue_capacity,
+          ",\"high_watermark\":", load(net->queue_high_watermark), "}",
+          ",\"connections\":{\"active\":", load(net->active_connections),
+          ",\"accepted\":", load(net->accepted), "}",
+          ",\"requests\":{\"dispatched\":", load(net->dispatched),
+          ",\"responses\":", load(net->responses),
+          ",\"rejected_overload\":", load(net->rejected_overload),
+          ",\"rejected_oversize\":", load(net->rejected_oversize), "}",
+          ",\"bytes\":{\"in\":", load(net->bytes_in),
+          ",\"out\":", load(net->bytes_out), "}}\n");
     }
   } else if (cmd == ":net") {
     const NetCounters* net = options_.net;

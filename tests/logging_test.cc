@@ -1,0 +1,52 @@
+// CS_CHECK / CS_DCHECK behavior. This file is compiled into two test
+// binaries (tests/CMakeLists.txt): logging_test with NDEBUG forced
+// *off* and logging_ndebug_test with NDEBUG forced *on*, so both
+// sides of the CS_DCHECK compile-out are asserted no matter which
+// build type the suite runs under.
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace chainsplit {
+namespace {
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  int evaluations = 0;
+  CS_CHECK(++evaluations == 1) << "never printed";
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseInEveryBuild) {
+  // CS_CHECK is never compiled out — release builds keep hard
+  // invariant checks.
+  EXPECT_DEATH(CS_CHECK(false) << "boom", "CHECK failed");
+}
+
+#ifdef NDEBUG
+
+TEST(LoggingTest, DcheckCompiledOutUnderNdebug) {
+  // Must not abort...
+  CS_DCHECK(false) << "never evaluated";
+  // ...and must not evaluate the condition or the streamed operands.
+  int evaluations = 0;
+  CS_DCHECK(++evaluations > 0) << "never evaluated";
+  EXPECT_EQ(evaluations, 0);
+}
+
+#else  // !NDEBUG
+
+TEST(LoggingDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(CS_DCHECK(false) << "boom", "CHECK failed");
+}
+
+TEST(LoggingTest, DcheckEvaluatesConditionInDebugBuilds) {
+  int evaluations = 0;
+  CS_DCHECK(++evaluations == 1) << "never printed";
+  EXPECT_EQ(evaluations, 1);
+}
+
+#endif
+
+}  // namespace
+}  // namespace chainsplit

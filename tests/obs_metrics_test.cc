@@ -1,0 +1,215 @@
+// MetricsRegistry: counters, gauges, log-bucketed histograms with
+// read-time quantiles, callback-backed series, Prometheus text
+// exposition and family totals.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace chainsplit {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(CounterTest, IncAndValue) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Inc();
+  counter.Inc(41);
+  EXPECT_EQ(counter.Value(), 42);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Set(0);
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(HistogramTest, CountSumAndBuckets) {
+  Histogram histogram;
+  histogram.Record(0);    // bucket 0 (< 1)
+  histogram.Record(1);    // bucket 1 (< 2)
+  histogram.Record(100);  // bucket 7 (< 128)
+  Histogram::Snapshot snap = histogram.Read();
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_EQ(snap.sum, 101);
+  EXPECT_EQ(snap.buckets[0], 1);
+  EXPECT_EQ(snap.buckets[1], 1);
+  EXPECT_EQ(snap.buckets[7], 1);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
+  EXPECT_EQ(Histogram::Snapshot::BucketBound(0), 1);
+  EXPECT_EQ(Histogram::Snapshot::BucketBound(1), 2);
+  EXPECT_EQ(Histogram::Snapshot::BucketBound(10), 1024);
+  // The last bucket is +Inf.
+  EXPECT_GT(Histogram::Snapshot::BucketBound(Histogram::kBuckets - 1),
+            int64_t{1} << 60);
+}
+
+TEST(HistogramTest, OverflowLandsInInfBucket) {
+  Histogram histogram;
+  histogram.Record(int64_t{1} << 40);  // beyond the largest finite bound
+  Histogram::Snapshot snap = histogram.Read();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.buckets[Histogram::kBuckets - 1], 1);
+}
+
+TEST(HistogramTest, QuantileOnEmptyIsZero) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Read().Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndBucketAccurate) {
+  Histogram histogram;
+  // 90 fast samples (~8us) and 10 slow ones (~1000us): p50 must sit in
+  // the fast bucket, p99 in the slow one.
+  for (int i = 0; i < 90; ++i) histogram.Record(8);
+  for (int i = 0; i < 10; ++i) histogram.Record(1000);
+  Histogram::Snapshot snap = histogram.Read();
+  double p50 = snap.Quantile(0.5);
+  double p95 = snap.Quantile(0.95);
+  double p99 = snap.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p50, 16.0);     // fast bucket upper bound
+  EXPECT_GT(p99, 512.0);    // slow bucket lower bound
+  EXPECT_LE(p99, 1024.0);   // slow bucket upper bound
+}
+
+TEST(RegistryTest, ReregistrationReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.AddCounter("requests_total", "help");
+  Counter* b = registry.AddCounter("requests_total", "help");
+  EXPECT_EQ(a, b);
+  // Same name, different labels: a distinct series in the same family.
+  Counter* c =
+      registry.AddCounter("requests_total", "help", {{"outcome", "ok"}});
+  EXPECT_NE(a, c);
+}
+
+TEST(RegistryTest, CounterFamilyTotalSumsLabelSets) {
+  MetricsRegistry registry;
+  registry.AddCounter("req_total", "help", {{"outcome", "ok"}})->Inc(5);
+  registry.AddCounter("req_total", "help", {{"outcome", "error"}})->Inc(2);
+  std::atomic<int64_t> rejected{3};
+  uint64_t id = registry.AddCallback(
+      "req_total", "help", MetricType::kCounter, {{"outcome", "rejected"}},
+      [&rejected] { return static_cast<double>(rejected.load()); });
+  EXPECT_DOUBLE_EQ(registry.CounterFamilyTotal("req_total"), 10.0);
+  EXPECT_DOUBLE_EQ(registry.CounterFamilyTotal("absent_total"), 0.0);
+  registry.RemoveCallback(id);
+  EXPECT_DOUBLE_EQ(registry.CounterFamilyTotal("req_total"), 7.0);
+}
+
+TEST(RegistryTest, CallbackSeriesRenderAndUnregister) {
+  MetricsRegistry registry;
+  std::atomic<int64_t> depth{17};
+  uint64_t id = registry.AddCallback(
+      "queue_depth", "current depth", MetricType::kGauge, {{"port", "1234"}},
+      [&depth] { return static_cast<double>(depth.load()); });
+  std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(text, "# TYPE queue_depth gauge"));
+  EXPECT_TRUE(Contains(text, "queue_depth{port=\"1234\"} 17"));
+  registry.RemoveCallback(id);
+  EXPECT_FALSE(Contains(registry.RenderPrometheus(), "queue_depth"));
+  registry.RemoveCallback(id);  // double-remove is harmless
+}
+
+TEST(RegistryTest, PrometheusExpositionShape) {
+  MetricsRegistry registry;
+  registry.AddCounter("reqs_total", "Requests", {{"outcome", "ok"}})->Inc(3);
+  registry.AddCounter("reqs_total", "Requests", {{"outcome", "error"}})
+      ->Inc(1);
+  registry.AddGauge("open_conns", "Open connections")->Set(2);
+  Histogram* latency = registry.AddHistogram("latency_us", "Latency");
+  latency->Record(3);
+  latency->Record(300);
+
+  std::string text = registry.RenderPrometheus();
+  // One HELP/TYPE block per family, not per series.
+  EXPECT_EQ(text.find("# HELP reqs_total"), text.rfind("# HELP reqs_total"));
+  EXPECT_TRUE(Contains(text, "# TYPE reqs_total counter"));
+  EXPECT_TRUE(Contains(text, "reqs_total{outcome=\"ok\"} 3"));
+  EXPECT_TRUE(Contains(text, "reqs_total{outcome=\"error\"} 1"));
+  EXPECT_TRUE(Contains(text, "# TYPE open_conns gauge"));
+  EXPECT_TRUE(Contains(text, "open_conns 2"));
+  // Histogram: cumulative buckets, +Inf, sum/count, quantile family.
+  EXPECT_TRUE(Contains(text, "# TYPE latency_us histogram"));
+  EXPECT_TRUE(Contains(text, "latency_us_bucket{le=\"+Inf\"} 2"));
+  EXPECT_TRUE(Contains(text, "latency_us_sum 303"));
+  EXPECT_TRUE(Contains(text, "latency_us_count 2"));
+  EXPECT_TRUE(Contains(text, "# TYPE latency_us_quantile gauge"));
+  EXPECT_TRUE(Contains(text, "latency_us_quantile{quantile=\"0.5\"}"));
+  // Quantile labels are exact decimal strings, not double round-trips.
+  EXPECT_TRUE(Contains(text, "quantile=\"0.95\""));
+  EXPECT_TRUE(Contains(text, "quantile=\"0.99\""));
+  EXPECT_FALSE(Contains(text, "0.94999"));
+}
+
+TEST(RegistryTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram* latency = registry.AddHistogram("lat_us", "Latency");
+  latency->Record(0);  // bucket le="1"
+  latency->Record(3);  // bucket le="4"
+  std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(text, "lat_us_bucket{le=\"1\"} 1"));
+  EXPECT_TRUE(Contains(text, "lat_us_bucket{le=\"4\"} 2"));
+  EXPECT_TRUE(Contains(text, "lat_us_bucket{le=\"+Inf\"} 2"));
+}
+
+TEST(RegistryTest, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.AddCounter("c_total", "help", {{"path", "a\"b\\c\nd"}})->Inc();
+  std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(text, "path=\"a\\\"b\\\\c\\nd\""));
+}
+
+TEST(RegistryTest, SnapshotCoversAllSeries) {
+  MetricsRegistry registry;
+  registry.AddCounter("queries_total", "help")->Inc(7);
+  registry.AddGauge("depth", "help")->Set(4);
+  Histogram* latency = registry.AddHistogram("lat_us", "help");
+  latency->Record(10);
+
+  bool saw_counter = false, saw_gauge = false;
+  bool saw_count = false, saw_sum = false;
+  int quantile_samples = 0;
+  for (const MetricSample& sample : registry.Snapshot()) {
+    if (sample.name == "queries_total") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(sample.value, 7.0);
+    } else if (sample.name == "depth") {
+      saw_gauge = true;
+      EXPECT_DOUBLE_EQ(sample.value, 4.0);
+    } else if (sample.name == "lat_us_count") {
+      saw_count = true;
+      EXPECT_DOUBLE_EQ(sample.value, 1.0);
+    } else if (sample.name == "lat_us_sum") {
+      saw_sum = true;
+      EXPECT_DOUBLE_EQ(sample.value, 10.0);
+    } else if (sample.name == "lat_us_quantile") {
+      ++quantile_samples;
+      ASSERT_EQ(sample.labels.size(), 1u);
+      EXPECT_EQ(sample.labels[0].first, "quantile");
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_count);
+  EXPECT_TRUE(saw_sum);
+  EXPECT_EQ(quantile_samples, 3);
+}
+
+}  // namespace
+}  // namespace chainsplit

@@ -1,0 +1,130 @@
+// Trace span trees: nesting, attributes, early End, error-unwind
+// closing via Finish, and the Chrome trace_event JSON rendering.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace chainsplit {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(TraceTest, RootSpanAndNesting) {
+  Trace trace("?- tc(a, Y).");
+  EXPECT_EQ(trace.num_spans(), 1);  // the root
+  int outer = trace.BeginSpan("evaluate");
+  int inner = trace.BeginSpan("parse");
+  trace.EndSpan(inner);
+  trace.EndSpan(outer);
+  trace.Finish();
+  EXPECT_EQ(trace.num_spans(), 3);
+}
+
+TEST(TraceTest, FinishClosesSpansLeftOpenByUnwind) {
+  // An error return unwinds without EndSpan; Finish must close every
+  // open span so the JSON never contains a dangling (end = -1) event.
+  Trace trace("q");
+  trace.BeginSpan("evaluate");
+  trace.BeginSpan("fixpoint");
+  trace.Finish();
+  std::string json = trace.ToChromeJson();
+  EXPECT_FALSE(Contains(json, "\"dur\":-1"));
+  EXPECT_TRUE(Contains(json, "\"fixpoint\""));
+}
+
+TEST(TraceTest, FinishIsIdempotent) {
+  Trace trace("q");
+  trace.Finish();
+  auto d1 = trace.duration();
+  trace.Finish();
+  EXPECT_EQ(trace.duration(), d1);
+}
+
+TEST(TraceTest, ChromeJsonShape) {
+  Trace trace("?- path(a, Y).");
+  int span = trace.BeginSpan("fixpoint_iteration");
+  trace.SetAttr(span, "iteration", 2);
+  trace.SetAttr(span, "delta_rows", int64_t{17});
+  trace.SetAttr(span, "technique", "magic-sets");
+  trace.EndSpan(span);
+  trace.Finish();
+
+  std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(Contains(json, "{\"traceEvents\":["));
+  EXPECT_TRUE(Contains(json, "\"ph\":\"X\""));  // complete events
+  EXPECT_TRUE(Contains(json, "\"name\":\"?- path(a, Y).\""));
+  EXPECT_TRUE(Contains(json, "\"name\":\"fixpoint_iteration\""));
+  EXPECT_TRUE(Contains(json, "\"iteration\":2"));
+  EXPECT_TRUE(Contains(json, "\"delta_rows\":17"));
+  EXPECT_TRUE(Contains(json, "\"technique\":\"magic-sets\""));
+  // Every event carries timestamps and durations in microseconds.
+  EXPECT_TRUE(Contains(json, "\"ts\":"));
+  EXPECT_TRUE(Contains(json, "\"dur\":"));
+}
+
+TEST(TraceSpanTest, RaiiOpensAndCloses) {
+  Trace trace("q");
+  {
+    TraceSpan span(&trace, "phase");
+    span.Attr("rows", int64_t{3});
+  }
+  trace.Finish();
+  std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(Contains(json, "\"phase\""));
+  EXPECT_TRUE(Contains(json, "\"rows\":3"));
+}
+
+TEST(TraceSpanTest, NullTraceIsNoOp) {
+  // The instrumentation sites pass a null Trace* when tracing is off;
+  // every method must degrade to (at most) one branch.
+  TraceSpan span(nullptr, "phase");
+  span.Attr("rows", int64_t{3});
+  span.Attr("mode", "shared");
+  span.End();
+  EXPECT_EQ(span.trace(), nullptr);
+}
+
+TEST(TraceSpanTest, EarlyEndStopsFurtherMutation) {
+  Trace trace("q");
+  {
+    TraceSpan span(&trace, "phase");
+    span.End();
+    span.Attr("late", int64_t{1});  // after End: dropped
+    span.End();                     // double End: harmless
+  }
+  trace.Finish();
+  EXPECT_FALSE(Contains(trace.ToChromeJson(), "late"));
+}
+
+TEST(TraceSpanTest, SiblingsShareParent) {
+  Trace trace("q");
+  {
+    TraceSpan a(&trace, "first");
+  }
+  {
+    TraceSpan b(&trace, "second");
+  }
+  trace.Finish();
+  std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(Contains(json, "\"first\""));
+  EXPECT_TRUE(Contains(json, "\"second\""));
+  EXPECT_EQ(trace.num_spans(), 3);
+}
+
+TEST(JsonEscapeTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  // Other control characters become \u00XX escapes.
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace chainsplit

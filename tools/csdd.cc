@@ -21,6 +21,15 @@
 //   --snapshot-every=N         auto-checkpoint after N logged records
 //                              (0 = only on :snapshot)
 //
+// Observability flags (docs/observability.md):
+//   --slow-query-ms=N          write the trace of every query taking
+//                              >= N ms as Chrome trace_event JSON into
+//                              the data dir (or --slow-query-dir)
+//   --slow-query-dir=DIR       slow-query log directory (defaults to
+//                              the --data-dir, or ./slow-queries)
+//   --trace                    start with per-query tracing on
+//                              (`:trace last` prints the newest trace)
+//
 // Loads each program file (facts, rules; queries in files run
 // immediately), then reads from stdin:
 //
@@ -69,6 +78,9 @@ int Run(int argc, char** argv) {
   int serve_port = -1;
   ServerOptions server_options;
   DurabilityOptions durability;
+  long long slow_query_ms = 0;
+  std::string slow_query_dir;
+  bool trace_on = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -89,6 +101,12 @@ int Run(int argc, char** argv) {
       durability.wal.sync_interval_ms = std::atoi(arg.c_str() + 20);
     } else if (StartsWith(arg, "--snapshot-every=")) {
       durability.snapshot_every_records = std::atoll(arg.c_str() + 17);
+    } else if (StartsWith(arg, "--slow-query-ms=")) {
+      slow_query_ms = std::atoll(arg.c_str() + 16);
+    } else if (StartsWith(arg, "--slow-query-dir=")) {
+      slow_query_dir = arg.substr(17);
+    } else if (arg == "--trace") {
+      trace_on = true;
     } else if (StartsWith(arg, "--net-mode=")) {
       std::string mode = arg.substr(11);
       if (mode == "epoll") {
@@ -119,6 +137,8 @@ int Run(int argc, char** argv) {
           "[--max-line=BYTES]\n"
           "            [--data-dir=DIR] [--wal-sync=always|interval|none]\n"
           "            [--wal-sync-interval=MS] [--snapshot-every=N]\n"
+          "            [--slow-query-ms=N] [--slow-query-dir=DIR] "
+          "[--trace]\n"
           "            [program.dl ...]\n%s",
           Session::HelpText());
       return 0;
@@ -162,6 +182,19 @@ int Run(int argc, char** argv) {
     for (const std::string& note : recovered->notes) {
       std::printf("%% recovery: %s\n", note.c_str());
     }
+    std::fflush(stdout);
+  }
+  if (trace_on) service.set_tracing(true);
+  if (slow_query_ms > 0) {
+    if (slow_query_dir.empty()) {
+      slow_query_dir = durability.data_dir.empty()
+                           ? std::string("./slow-queries")
+                           : StrCat(durability.data_dir, "/slow-queries");
+    }
+    service.EnableSlowQueryLog(slow_query_dir,
+                               std::chrono::milliseconds(slow_query_ms));
+    std::printf("%% slow-query log: >= %lld ms -> %s\n", slow_query_ms,
+                slow_query_dir.c_str());
     std::fflush(stdout);
   }
   Session session(&service, {});
