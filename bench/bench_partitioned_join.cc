@@ -125,6 +125,16 @@ void BM_Join(benchmark::State& state, ParallelJoinMode mode) {
         build > 0 ? max_rows * partitions / build : 1.0;
     state.counters["views_built"] =
         static_cast<double>(after.views_built - before.views_built);
+    // View-cache effectiveness: the edge relation never moves during
+    // the timed loop, so after the first build every iteration should
+    // hit the keyed LRU (rel/relation.h).
+    const double hits = static_cast<double>(after.view_hits - before.view_hits);
+    const double misses =
+        static_cast<double>(after.view_misses - before.view_misses);
+    state.counters["view_hits"] = hits;
+    state.counters["view_misses"] = misses;
+    state.counters["view_hit_rate"] =
+        hits + misses > 0 ? hits / (hits + misses) : 0.0;
   }
 }
 
@@ -163,6 +173,33 @@ bool OutputsIdentical() {
   return true;
 }
 
+/// Asserts the partitioned-view LRU actually caches: joining the same
+/// stable build side repeatedly must build at most one view (the first
+/// join) and hit the cache on every later one. Guards against a
+/// regression where the cache thrashes (every join a miss) — the bug
+/// this telemetry was added to catch.
+bool ViewCacheHitRateHealthy() {
+  const PartitionedJoinTelemetry before = GetPartitionedJoinTelemetry();
+  for (int i = 0; i < 3; ++i) {
+    Relation out(2);
+    RunJoin(ParallelJoinMode::kPartitioned, &out);
+  }
+  const PartitionedJoinTelemetry after = GetPartitionedJoinTelemetry();
+  const int64_t hits = after.view_hits - before.view_hits;
+  const int64_t misses = after.view_misses - before.view_misses;
+  if (hits < 2 || misses > 1) {
+    std::fprintf(stderr,
+                 "view cache thrashing: %lld hits / %lld misses over 3 "
+                 "identical joins (expected >=2 hits, <=1 miss)\n",
+                 static_cast<long long>(hits),
+                 static_cast<long long>(misses));
+    return false;
+  }
+  std::printf("view cache hit rate healthy: %lld hits / %lld misses\n",
+              static_cast<long long>(hits), static_cast<long long>(misses));
+  return true;
+}
+
 }  // namespace
 }  // namespace chainsplit
 
@@ -174,6 +211,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("parallel join outputs byte-identical across modes\n");
+  if (!chainsplit::ViewCacheHitRateHealthy()) {
+    std::fprintf(stderr,
+                 "FATAL: partitioned-view cache hit rate below the "
+                 "acceptance bar\n");
+    return 1;
+  }
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();

@@ -18,6 +18,12 @@
 # The JSON is written with --benchmark_out, NOT --benchmark_format:
 # several benches print an explanatory banner on stdout which would
 # corrupt a stdout JSON stream.
+#
+# Every BENCH_*.json records hardware_concurrency in its context block
+# so scaling trends (UncachedClients, UncachedParallelScc) can be
+# judged against the host that produced them. The parallel-SCC > 1.3x
+# gate only applies on multi-core hosts; single-core runs log a skip
+# note instead of failing.
 set -euo pipefail
 
 build_dir=${1:-build}
@@ -50,6 +56,10 @@ else
   done
 fi
 
+# Online CPU count, recorded into every JSON and used to decide
+# whether the multi-core scaling gate applies at all.
+hw=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
+
 status=0
 for bin in "${benches[@]}"; do
   name=$(basename "$bin")
@@ -60,7 +70,8 @@ for bin in "${benches[@]}"; do
   [[ $json_name == net_saturation ]] && json_name=net
   out="$out_dir/BENCH_${json_name}.json"
   echo "== $name -> $out"
-  if ! "$bin" --benchmark_out="$out" --benchmark_out_format=json; then
+  if ! "$bin" --benchmark_out="$out" --benchmark_out_format=json \
+      --benchmark_context=hardware_concurrency="$hw"; then
     echo "error: $name failed" >&2
     rm -f "$out"  # no partial/empty JSON from a failed run
     status=1
@@ -80,6 +91,30 @@ for bin in "${benches[@]}"; do
         if (qps[1] > 0 && qps[8] > 0)
           printf "   uncached scaling: %.0f qps @1 client, %.0f qps @8 clients (%.2fx)\n", qps[1], qps[8], qps[8] / qps[1]
       }' "$out"
+    # Parallel-SCC scaling: 8 strata in flight vs the stratified
+    # serial schedule (arg 1). Acceptance gate (docs/perf_notes.md):
+    # > 1.3x on multi-core hosts; a single core cannot overlap strata,
+    # so the gate is skipped there — with a note, never silently.
+    scc_ratio=$(awk '
+      /"name": "UncachedParallelScc\/1\// { want = 1 }
+      /"name": "UncachedParallelScc\/8\// { want = 8 }
+      want && /"qps":/ {
+        gsub(/[^0-9.e+-]/, "", $2); qps[want] = $2; want = 0
+      }
+      END {
+        if (qps[1] > 0 && qps[8] > 0) printf "%.2f", qps[8] / qps[1]
+      }' "$out")
+    if [[ -n $scc_ratio ]]; then
+      echo "   parallel-scc scaling: ${scc_ratio}x qps (8 strata vs stratified serial)"
+      if (( hw <= 1 )); then
+        echo "   parallel-scc gate: skipped (single-core host, hardware_concurrency=$hw)"
+      elif awk -v r="$scc_ratio" 'BEGIN { exit !(r > 1.3) }'; then
+        echo "   parallel-scc gate: PASS (${scc_ratio}x > 1.3x on $hw cores)"
+      else
+        echo "error: parallel-scc gate FAILED: ${scc_ratio}x <= 1.3x on $hw cores" >&2
+        status=1
+      fi
+    fi
     # Summarize the tracing cost: the acceptance bound is <= 2% on the
     # uncached single-client shape (docs/perf_notes.md).
     awk '

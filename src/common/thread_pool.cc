@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
@@ -35,11 +36,44 @@ void BindWorkerToNode(int node, int nodes) {
 #endif
 }
 
+/// Identity of the pool worker running on this thread, set for the
+/// lifetime of WorkerLoop. Lets WorkGroup::Wait() detect that it is
+/// being called from inside a pool task, where sleeping would strand
+/// the worker (nested-submission deadlock: every worker blocked on a
+/// child group none of them can drain).
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  int worker = -1;
+};
+thread_local WorkerIdentity g_worker_identity;
+
 }  // namespace
 
 void ThreadPool::WorkGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  const int worker = pool_ == nullptr ? -1 : pool_->CurrentWorkerIndex();
+  if (worker < 0) {
+    // External thread: nothing useful to do but sleep.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+    return;
+  }
+  // Pool worker: help while waiting. Run queued tasks inline (any
+  // group's — draining foreign work still frees workers that may be
+  // running ours). When the queues are empty our remaining tasks are
+  // running on other workers; poll with a short timed wait because a
+  // foreign task finishing will not signal this group's cv_.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) return;
+    }
+    if (pool_->RunOneTask(worker)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (cv_.wait_for(lock, std::chrono::milliseconds(1),
+                     [this] { return pending_ == 0; })) {
+      return;
+    }
+  }
 }
 
 void ThreadPool::WorkGroup::OnTaskDone() {
@@ -99,8 +133,24 @@ bool ThreadPool::PopTask(int worker, Task* task) {
   return true;
 }
 
+int ThreadPool::CurrentWorkerIndex() const {
+  return g_worker_identity.pool == this ? g_worker_identity.worker : -1;
+}
+
+bool ThreadPool::RunOneTask(int worker) {
+  Task task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!PopTask(worker, &task)) return false;
+  }
+  task.fn();
+  task.group->OnTaskDone();
+  return true;
+}
+
 void ThreadPool::WorkerLoop(int worker) {
   BindWorkerToNode(worker % numa_nodes_, numa_nodes_);
+  g_worker_identity = {this, worker};
   while (true) {
     Task task;
     {

@@ -31,10 +31,14 @@ namespace chainsplit {
 /// a hinted task is allocated on the node of the worker that will
 /// keep probing it. Without libnuma (or on one node) this is a no-op.
 ///
-/// Usage contract: tasks must not throw and must not Submit
-/// recursively. Determinism is the caller's job — partition work into
-/// chunks, give each chunk private output storage, and merge in chunk
-/// order after Wait() returns.
+/// Usage contract: tasks must not throw. Nested submission is safe:
+/// a task running on a pool worker may submit child tasks (its own
+/// WorkGroup, ParallelFor, a nested join) and Wait() on them — a
+/// worker blocked in Wait() *helps*, draining queued tasks inline
+/// instead of sleeping, so a saturated pool cannot deadlock on child
+/// work (see WorkGroup::Wait). Determinism is the caller's job —
+/// partition work into chunks, give each chunk private output
+/// storage, and merge in chunk order after Wait() returns.
 class ThreadPool {
  public:
   /// A per-caller completion token: counts only the tasks submitted
@@ -54,6 +58,9 @@ class ThreadPool {
     }
 
     /// Blocks until every task submitted through *this group* is done.
+    /// When called from a worker of the same pool, runs queued tasks
+    /// (any group's) inline while waiting, so nested WorkGroups never
+    /// deadlock a saturated pool.
     void Wait();
 
    private:
@@ -111,6 +118,13 @@ class ThreadPool {
   /// shared queue, then stealing). Caller holds mu_; returns false
   /// when no task is queued anywhere.
   bool PopTask(int worker, Task* task);
+  /// Index of the calling thread in this pool's workers_, or -1 when
+  /// the caller is not one of this pool's workers.
+  int CurrentWorkerIndex() const;
+  /// Pops and runs one queued task on the calling thread (used by a
+  /// worker helping while it waits). Returns false when every queue
+  /// was empty.
+  bool RunOneTask(int worker);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

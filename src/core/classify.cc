@@ -80,6 +80,24 @@ ProgramAnalysis ProgramAnalysis::Analyze(const Program& program,
   for (const auto& component : sccs) {
     for (PredId p : component) analysis.evaluation_order_.push_back(p);
   }
+  analysis.sccs_ = sccs;
+
+  // Condensation predecessor edges: deps[s] = callee SCCs of s
+  // (deduplicated, sorted; every dep id < s by the topological
+  // numbering above). The scheduler dispatches SCC s when they are
+  // all complete.
+  analysis.scc_deps_.resize(sccs.size());
+  for (const auto& [caller, callees] : calls) {
+    const int s = scc_of[caller];
+    for (PredId callee : callees) {
+      const int d = scc_of[callee];
+      if (d != s) analysis.scc_deps_[s].push_back(d);
+    }
+  }
+  for (std::vector<int>& deps : analysis.scc_deps_) {
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  }
 
   // Functional closure: a predicate is functional when it or any
   // (transitive) callee uses a builtin with an infinite domain.

@@ -51,9 +51,23 @@ class ProgramAnalysis {
     return evaluation_order_;
   }
 
+  /// SCC member lists, indexed by SCC id. Ids follow bottom-up
+  /// topological order: every predecessor (callee) SCC has a smaller
+  /// id than its callers, so iterating 0..num_sccs()-1 is a valid
+  /// serial evaluation schedule.
+  const std::vector<std::vector<PredId>>& sccs() const { return sccs_; }
+  int num_sccs() const { return static_cast<int>(sccs_.size()); }
+
+  /// Predecessor edges of the condensation: scc_deps()[s] lists the
+  /// SCC ids (all < s) whose predicates appear in the bodies of SCC
+  /// s's rules. An SCC may be dispatched once these are complete.
+  const std::vector<std::vector<int>>& scc_deps() const { return scc_deps_; }
+
  private:
   std::unordered_map<PredId, PredicateClassification> info_;
   std::vector<PredId> evaluation_order_;
+  std::vector<std::vector<PredId>> sccs_;
+  std::vector<std::vector<int>> scc_deps_;
   PredicateClassification default_info_;
 };
 

@@ -8,6 +8,7 @@
 #include "ast/ast.h"
 #include "common/deadline.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/buffered.h"
 #include "core/partial.h"
 #include "core/split_decision.h"
@@ -46,6 +47,18 @@ struct PlannerOptions {
   /// benchmark compares the two.
   bool use_stats_ordering = true;
 
+  /// SCC-schedule evaluation of the bottom-up fixpoint (see
+  /// core/scc_schedule.h). 0 = off: one monolithic semi-naive fixpoint
+  /// over all rules (the default; row order differs from the
+  /// stratified schedule, so this stays opt-in). 1 = stratified serial
+  /// schedule, the parallel path's baseline. N > 1 = up to N SCC
+  /// fixpoints in flight on `scc_pool`; results are byte-identical to
+  /// N = 1 at every worker count.
+  int parallel_scc = 0;
+
+  /// Pool for parallel_scc > 1; null uses ThreadPool::Shared().
+  ThreadPool* scc_pool = nullptr;
+
   /// Precomputed rectification of the program's rules (RectifyRules
   /// output for the *current* rule set). When set, the planner reuses
   /// it instead of re-rectifying every query — the query service
@@ -79,6 +92,13 @@ struct QueryResult {
   SemiNaiveStats seminaive_stats;
   BufferedStats buffered_stats;
   TopDownStats topdown_stats;
+
+  /// SCC-schedule provenance; all zero unless
+  /// PlannerOptions::parallel_scc routed the fixpoint through the
+  /// stratified scheduler (core/scc_schedule.h).
+  int64_t scc_strata = 0;
+  int64_t scc_parallel_strata = 0;
+  int64_t scc_max_ready_width = 0;
 };
 
 /// Plans and evaluates `query` against `*db` (rules + EDB facts):
@@ -110,6 +130,14 @@ StatusOr<QueryResult> RunProgram(Database* db, std::string_view source,
 /// kNotFinitelyEvaluable — use query-directed evaluation
 /// (EvaluateQuery) for those, which is the paper's whole point.
 Status MaterializeAll(EvalDb* db, const SemiNaiveOptions& options = {});
+
+/// As MaterializeAll, but evaluates the SCC condensation of the
+/// rectified rules as a stratum schedule (core/scc_schedule.h) with up
+/// to `parallel_scc` strata in flight on `pool` (null =
+/// ThreadPool::Shared()). parallel_scc <= 1 runs the serial stratified
+/// schedule; results are byte-identical at every worker count.
+Status MaterializeAllScc(EvalDb* db, const SemiNaiveOptions& options,
+                         int parallel_scc, ThreadPool* pool = nullptr);
 
 }  // namespace chainsplit
 

@@ -27,6 +27,8 @@ constexpr int64_t kMinPartitionedBuildRows = 2048;
 std::atomic<int64_t> g_partitioned_batches{0};
 std::atomic<int64_t> g_contiguous_batches{0};
 std::atomic<int64_t> g_views_built{0};
+std::atomic<int64_t> g_pview_hits{0};
+std::atomic<int64_t> g_pview_misses{0};
 std::atomic<int64_t> g_partitions{0};
 std::atomic<int64_t> g_build_rows{0};
 std::atomic<int64_t> g_max_partition_rows{0};
@@ -131,10 +133,13 @@ void PartitionedParallelJoin(const Relation& left, const Relation& right,
 
   // Build side: reuse the cached view when the relation hasn't moved
   // (the fixpoint evaluators join against the same stable EDB relation
-  // every iteration); rebuild in place otherwise.
-  PartitionedView* view =
+  // every iteration); rebuild otherwise. The shared_ptr is held across
+  // the whole join, so a concurrent eviction or same-key replacement
+  // in the relation's view LRU cannot destroy the view under us.
+  std::shared_ptr<PartitionedView> view =
       right.FindPartitionedView(spec.right_columns, P);
   if (view == nullptr || view->stale(right)) {
+    g_pview_misses.fetch_add(1, std::memory_order_relaxed);
     auto fresh =
         std::make_unique<PartitionedView>(spec.right_columns, P);
     fresh->AssignRows(right);
@@ -150,6 +155,8 @@ void PartitionedParallelJoin(const Relation& left, const Relation& right,
     fresh->Finish(right);
     view = right.CachePartitionedView(std::move(fresh));
     g_views_built.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_pview_hits.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Probe side: hash every left row's key once (parallel, contiguous
@@ -291,6 +298,8 @@ PartitionedJoinTelemetry GetPartitionedJoinTelemetry() {
   t.batches = g_partitioned_batches.load(std::memory_order_relaxed);
   t.contiguous_batches = g_contiguous_batches.load(std::memory_order_relaxed);
   t.views_built = g_views_built.load(std::memory_order_relaxed);
+  t.view_hits = g_pview_hits.load(std::memory_order_relaxed);
+  t.view_misses = g_pview_misses.load(std::memory_order_relaxed);
   t.partitions = g_partitions.load(std::memory_order_relaxed);
   t.build_rows = g_build_rows.load(std::memory_order_relaxed);
   t.max_partition_rows =

@@ -94,6 +94,8 @@ struct PartitionedJoinTelemetry {
   int64_t batches = 0;             // joins through the partitioned path
   int64_t contiguous_batches = 0;  // joins through the contiguous path
   int64_t views_built = 0;         // build-side partitioned views built
+  int64_t view_hits = 0;           // cached view reused (fresh, same key)
+  int64_t view_misses = 0;         // no cached view, or cached but stale
   int64_t partitions = 0;          // sum of partition counts over batches
   int64_t build_rows = 0;          // build-side rows across batches
   int64_t max_partition_rows = 0;  // sum over batches of largest partition

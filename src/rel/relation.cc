@@ -32,7 +32,7 @@ void Relation::DeleteIndexes() {
   num_indexes_.store(0, std::memory_order_release);
 }
 
-// Out-of-line: pviews_ holds unique_ptrs to a type that is incomplete
+// Out-of-line: pviews_ holds shared_ptrs to a type that is incomplete
 // at the member's declaration point, and the atomic members rule out
 // the defaulted special members. Moves happen only in single-threaded
 // contexts (no concurrent reader may hold a reference across a move).
@@ -91,38 +91,50 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   return *this;
 }
 
-PartitionedView* Relation::FindPartitionedView(
+std::shared_ptr<PartitionedView> Relation::FindPartitionedView(
     const std::vector<int>& columns, int partitions) const {
   std::lock_guard<std::mutex> lock(pview_mu_);
-  for (const std::unique_ptr<PartitionedView>& view : pviews_) {
+  for (size_t i = 0; i < pviews_.size(); ++i) {
+    const std::shared_ptr<PartitionedView>& view = pviews_[i];
     if (view->columns() == columns && view->num_partitions() == partitions) {
-      return view.get();
+      // LRU touch: rotate the hit to the back (most recent) without
+      // disturbing the relative order of the others.
+      std::rotate(pviews_.begin() + i, pviews_.begin() + i + 1,
+                  pviews_.end());
+      return pviews_.back();
     }
   }
   return nullptr;
 }
 
-PartitionedView* Relation::CachePartitionedView(
+std::shared_ptr<PartitionedView> Relation::CachePartitionedView(
     std::unique_ptr<PartitionedView> view) const {
   std::lock_guard<std::mutex> lock(pview_mu_);
-  for (std::unique_ptr<PartitionedView>& slot : pviews_) {
+  for (size_t i = 0; i < pviews_.size(); ++i) {
+    std::shared_ptr<PartitionedView>& slot = pviews_[i];
     if (slot->columns() == view->columns() &&
         slot->num_partitions() == view->num_partitions()) {
       // Lost a build race: another thread already attached a view for
-      // this key. Keep the incumbent unless it is strictly older —
-      // concurrent readers may still be probing a same-version entry,
-      // and destroying it under them would be a use-after-free. A
-      // strictly older entry can have no live probes: its readers'
-      // lock scope ended before the version moved.
-      if (slot->built_version() >= view->built_version()) {
-        return slot.get();
+      // this key. Keep the incumbent unless it is strictly older — the
+      // winner's view is identical (same key, same version), so the
+      // loser reuses it. Replacing a strictly older entry is safe even
+      // with concurrent probes in flight: those readers hold their own
+      // shared_ptr, so the old view outlives them.
+      if (slot->built_version() < view->built_version()) {
+        slot = std::shared_ptr<PartitionedView>(std::move(view));
       }
-      slot = std::move(view);
-      return slot.get();
+      std::rotate(pviews_.begin() + i, pviews_.begin() + i + 1,
+                  pviews_.end());
+      return pviews_.back();
     }
   }
-  pviews_.push_back(std::move(view));
-  return pviews_.back().get();
+  if (static_cast<int>(pviews_.size()) >= kMaxPartitionedViews) {
+    // Evict the least recently used entry. Any join still probing it
+    // keeps it alive through its own shared_ptr.
+    pviews_.erase(pviews_.begin());
+  }
+  pviews_.push_back(std::shared_ptr<PartitionedView>(std::move(view)));
+  return pviews_.back();
 }
 
 void Relation::Reserve(int64_t n) {

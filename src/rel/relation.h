@@ -298,18 +298,29 @@ class Relation {
   }
 
   /// Cached hash-partitioned views of this relation (see
-  /// PartitionedView below), keyed by (columns, partitions). Built and
-  /// attached by the partitioned HashJoin; the cache entry survives
-  /// inserts but goes stale (built_version() != version()) and is
-  /// rebuilt by the next join. Both calls are mutex-guarded so
-  /// concurrent joins may race to attach: CachePartitionedView keeps
-  /// the incumbent (and discards `view`) when an entry built against
-  /// the same version already exists, so a view another reader may
-  /// be probing is never destroyed mid-probe.
-  PartitionedView* FindPartitionedView(const std::vector<int>& columns,
-                                       int partitions) const;
-  PartitionedView* CachePartitionedView(
+  /// PartitionedView below): a small LRU keyed by (columns,
+  /// partitions), at most kMaxPartitionedViews entries, so two
+  /// concurrent evaluations joining this relation on different column
+  /// sets (or partition counts) each keep their own view warm instead
+  /// of evicting each other every probe. Built and attached by the
+  /// partitioned HashJoin; an entry survives inserts but goes stale
+  /// (built_version() != version()) and is rebuilt by the next join.
+  /// Both calls are mutex-guarded, and entries are handed out as
+  /// shared_ptr: a view evicted or replaced while another join still
+  /// probes it stays alive until the last holder drops its reference
+  /// — eviction can never destroy a view mid-probe.
+  /// CachePartitionedView keeps the incumbent (and discards `view`)
+  /// when an entry built against the same or a newer version already
+  /// exists, so concurrent build-race losers reuse the winner's view.
+  std::shared_ptr<PartitionedView> FindPartitionedView(
+      const std::vector<int>& columns, int partitions) const;
+  std::shared_ptr<PartitionedView> CachePartitionedView(
       std::unique_ptr<PartitionedView> view) const;
+
+  /// Capacity of the partitioned-view LRU. Keys come from join column
+  /// sets over small arities; a handful covers every concurrent
+  /// evaluation shape seen in practice.
+  static constexpr int kMaxPartitionedViews = 8;
 
   /// Copies every tuple of `other` into this relation; returns the
   /// number of new tuples.
@@ -444,7 +455,10 @@ class Relation {
   mutable std::array<std::atomic<Index*>, kMaxIndexes> index_slots_{};
   mutable std::atomic<int> num_indexes_{0};
   mutable std::mutex index_mu_;  // serializes index builds
-  mutable std::vector<std::unique_ptr<PartitionedView>> pviews_;
+  // LRU order: least recently used at the front, most recent at the
+  // back. Find moves the hit to the back; Cache evicts the front when
+  // a new key would exceed kMaxPartitionedViews.
+  mutable std::vector<std::shared_ptr<PartitionedView>> pviews_;
   mutable std::mutex pview_mu_;  // guards pviews_
   int64_t insert_attempts_ = 0;
   int64_t compactions_ = 0;

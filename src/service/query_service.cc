@@ -64,6 +64,19 @@ void QueryService::InitMetrics() {
   c_.result_cache_invalidations = registry_.AddCounter(
       "csdd_result_cache_invalidations_total",
       "Cached results dropped because a dependency's version moved");
+  c_.result_cache_stale_skips = registry_.AddCounter(
+      "csdd_result_cache_stale_skips_total",
+      "Result-cache inserts skipped because the rules epoch moved "
+      "between evaluation and the insert");
+  c_.scc_schedules = registry_.AddCounter(
+      "csdd_scc_schedules_total",
+      "Queries evaluated through the stratified SCC scheduler");
+  c_.scc_strata = registry_.AddCounter(
+      "csdd_scc_strata_total",
+      "SCC strata evaluated by the stratified scheduler");
+  c_.scc_parallel_strata = registry_.AddCounter(
+      "csdd_scc_parallel_strata_total",
+      "SCC strata dispatched onto the thread pool in parallel");
   c_.deadline_exceeded = registry_.AddCounter(
       "csdd_evals_cut_total", "Evaluations cut short, by cause",
       {{"cause", "deadline_exceeded"}});
@@ -161,6 +174,11 @@ void QueryService::AccumulateEvalStats(const QueryResponse& response) {
   c_.derived_tuples->Inc(response.seminaive_stats.total_derived);
   c_.chain_levels->Inc(response.buffered_stats.levels);
   c_.sld_steps->Inc(response.topdown_stats.steps);
+  if (response.scc_strata > 0) {
+    c_.scc_schedules->Inc();
+    c_.scc_strata->Inc(response.scc_strata);
+    c_.scc_parallel_strata->Inc(response.scc_parallel_strata);
+  }
 }
 
 QueryService::~QueryService() {
@@ -394,6 +412,10 @@ ServiceStats QueryService::stats() const {
   out.result_cache_hits = c_.result_cache_hits->Value();
   out.result_cache_misses = c_.result_cache_misses->Value();
   out.result_cache_invalidations = c_.result_cache_invalidations->Value();
+  out.result_cache_stale_skips = c_.result_cache_stale_skips->Value();
+  out.scc_schedules = c_.scc_schedules->Value();
+  out.scc_strata = c_.scc_strata->Value();
+  out.scc_parallel_strata = c_.scc_parallel_strata->Value();
   out.deadline_exceeded = c_.deadline_exceeded->Value();
   out.cancelled = c_.cancelled->Value();
   out.shared_evals = c_.shared_evals->Value();
@@ -489,12 +511,15 @@ Status QueryService::RunPlanner(EvalDb* eval_db,
                                 const ::chainsplit::Query& query,
                                 const std::string& signature,
                                 const CancelToken* cancel, Trace* trace,
-                                QueryResponse* response,
+                                int parallel_scc, QueryResponse* response,
                                 QueryResult* result) {
   PlannerOptions planner = options_.planner;
   planner.cancel = cancel;
   planner.trace = trace;
   planner.rectified = RectifiedRules();
+  // Per-request opt-in wins over the service default; the shared pool
+  // serves every request (scc_pool stays null).
+  if (parallel_scc > 0) planner.parallel_scc = parallel_scc;
 
   std::shared_ptr<PlanEntry> plan;
   if (options_.enable_plan_cache && !signature.empty() &&
@@ -574,12 +599,16 @@ QueryResponse QueryService::EvaluateOn(EvalDb* eval_db,
 
   QueryResult result;
   response.status = RunPlanner(eval_db, query, signature, cancel,
-                               request.trace, &response, &result);
+                               request.trace, request.parallel_scc, &response,
+                               &result);
   response.technique = result.technique;
   response.plan = std::move(result.plan);
   response.seminaive_stats = result.seminaive_stats;
   response.buffered_stats = result.buffered_stats;
   response.topdown_stats = result.topdown_stats;
+  response.scc_strata = result.scc_strata;
+  response.scc_parallel_strata = result.scc_parallel_strata;
+  response.scc_max_ready_width = result.scc_max_ready_width;
   if (!response.status.ok()) return response;
 
   const TermPool& pool =
@@ -778,7 +807,20 @@ QueryResponse QueryService::QueryImpl(std::string_view text,
   store_span.Attr("rows", static_cast<int64_t>(entry->rows.size()));
   store_span.Attr("deps", static_cast<int64_t>(entry->deps.size()));
   CompactDeps(entry->deps);
+  if (test_before_put_hook_) test_before_put_hook_();
   std::lock_guard<std::mutex> lock(cache_mu_);
+  // Revalidate the epoch under the same lock as the insert: a rule
+  // update between releasing the db lock and here has already cleared
+  // the cache, and inserting this entry would resurrect pre-update
+  // answers into the post-update cache. The entry is stamped with
+  // epoch_at_eval, so a lookup would reject it anyway (defense in
+  // depth) — but skipping the insert also keeps a born-stale entry
+  // from evicting a live one.
+  if (rules_epoch_ != epoch_at_eval) {
+    c_.result_cache_stale_skips->Inc();
+    store_span.Attr("skipped_stale", int64_t{1});
+    return response;
+  }
   result_cache_.Put(canonical->key, std::move(entry),
                     options_.result_cache_capacity);
   return response;

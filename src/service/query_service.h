@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -99,6 +100,13 @@ struct RequestOptions {
   /// own Trace if tracing is on (`:trace on`) or the slow-query log is
   /// armed; otherwise the request runs untraced.
   Trace* trace = nullptr;
+  /// SCC-schedule evaluation of the bottom-up fixpoint (see
+  /// PlannerOptions::parallel_scc): 0 = monolithic fixpoint (default),
+  /// 1 = stratified serial schedule, N > 1 = up to N strata in flight
+  /// on the shared pool. Answers are identical at every setting;
+  /// stratified row order can differ from monolithic, so this is
+  /// per-request opt-in.
+  int parallel_scc = 0;
 };
 
 /// One answered query. Rows are pre-formatted strings: a cache hit
@@ -125,6 +133,12 @@ struct QueryResponse {
   SemiNaiveStats seminaive_stats;
   BufferedStats buffered_stats;
   TopDownStats topdown_stats;
+
+  /// SCC-schedule provenance (see QueryResult); zero unless the
+  /// request opted into parallel_scc.
+  int64_t scc_strata = 0;
+  int64_t scc_parallel_strata = 0;
+  int64_t scc_max_ready_width = 0;
 };
 
 /// Outcome of one Update (facts and/or rules, possibly with embedded
@@ -186,6 +200,16 @@ struct ServiceStats {
   /// Result entries found but dropped because a dependency's version
   /// moved (fact update) — counted on top of the miss.
   int64_t result_cache_invalidations = 0;
+  /// Result-cache inserts skipped because the rules epoch moved between
+  /// evaluation and the insert: the entry would have been born stale
+  /// (see the epoch revalidation at the Put in QueryImpl).
+  int64_t result_cache_stale_skips = 0;
+  /// SCC-schedule usage: queries routed through the stratified
+  /// scheduler, total strata evaluated, and strata dispatched onto the
+  /// pool in parallel.
+  int64_t scc_schedules = 0;
+  int64_t scc_strata = 0;
+  int64_t scc_parallel_strata = 0;
   int64_t deadline_exceeded = 0;
   int64_t cancelled = 0;
   /// Lock-acquisition split of uncached evaluations: shared_evals ran
@@ -244,6 +268,16 @@ class QueryService {
   /// for the epoch revalidation in RunPlanner use it.
   Status TestOnlyInjectPlanEntry(std::string_view query_text,
                                  Technique technique, uint64_t rules_epoch);
+
+  /// Test-only: runs `hook` inside QueryImpl after evaluation releases
+  /// the db lock but before the result-cache insert — the window where
+  /// a concurrent rule update can bump the rules epoch. Regression
+  /// tests for the stale-skip revalidation at the Put use it to force
+  /// that interleaving deterministically. Not synchronized: set during
+  /// single-threaded test setup only.
+  void TestOnlySetBeforeResultPutHook(std::function<void()> hook) {
+    test_before_put_hook_ = std::move(hook);
+  }
 
   /// Evaluates one query statement (`?- goal, ... .`). Any other text
   /// shape is an InvalidArgument.
@@ -364,10 +398,12 @@ class QueryService {
       EvalDb* eval_db, std::string_view text, const RequestOptions& request,
       bool want_deps, std::vector<std::pair<PredId, uint64_t>>* deps);
   /// Runs the planner with `cancel` attached; retries unforced when a
-  /// cached forced technique turns out inapplicable.
+  /// cached forced technique turns out inapplicable. `parallel_scc`
+  /// routes the bottom-up fixpoint through the stratified SCC
+  /// scheduler (RequestOptions::parallel_scc).
   Status RunPlanner(EvalDb* eval_db, const ::chainsplit::Query& query,
                     const std::string& signature, const CancelToken* cancel,
-                    Trace* trace, QueryResponse* response,
+                    Trace* trace, int parallel_scc, QueryResponse* response,
                     QueryResult* result);
   /// Rectified rules of the current epoch, computed on first use.
   /// Mutex-guarded so concurrent shared-lock evaluations can share the
@@ -449,6 +485,10 @@ class QueryService {
     Counter* result_cache_hits = nullptr;
     Counter* result_cache_misses = nullptr;
     Counter* result_cache_invalidations = nullptr;
+    Counter* result_cache_stale_skips = nullptr;
+    Counter* scc_schedules = nullptr;
+    Counter* scc_strata = nullptr;
+    Counter* scc_parallel_strata = nullptr;
     Counter* deadline_exceeded = nullptr;
     Counter* cancelled = nullptr;
     Counter* shared_evals = nullptr;
@@ -476,6 +516,9 @@ class QueryService {
   };
   MetricsRegistry registry_;
   Counters c_;
+
+  /// See TestOnlySetBeforeResultPutHook.
+  std::function<void()> test_before_put_hook_;
 
   std::atomic<bool> tracing_{false};
   std::unique_ptr<SlowQueryLog> slow_log_;

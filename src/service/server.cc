@@ -126,6 +126,7 @@ StatusOr<int> TcpServer::StartEpoll(int listen_fd) {
   session_options.tcp_mode = true;
   session_options.cancel = &shutdown_;
   session_options.net = &counters_;
+  session_options.parallel_scc = options_.parallel_scc;
   EngineOptions engine_options;
   engine_options.queue_capacity = options_.queue_capacity;
   engine_options.workers = options_.workers;
@@ -194,6 +195,7 @@ void TcpServer::ServeConnection(int fd,
   session_options.tcp_mode = true;
   session_options.cancel = &shutdown_;
   session_options.net = &counters_;
+  session_options.parallel_scc = options_.parallel_scc;
   Session session(service_, session_options);
 
   std::string banner = "% chainsplit ready\n.\n";

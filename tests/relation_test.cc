@@ -460,7 +460,7 @@ TEST(PartitionedViewTest, StaleAfterInsertAndCacheReplaces) {
   Relation rel(2);
   for (TermId i = 0; i < 100; ++i) rel.Insert({i, i});
   rel.CachePartitionedView(BuildView(rel, {0}, 4));
-  PartitionedView* cached = rel.FindPartitionedView({0}, 4);
+  std::shared_ptr<PartitionedView> cached = rel.FindPartitionedView({0}, 4);
   ASSERT_NE(cached, nullptr);
   EXPECT_FALSE(cached->stale(rel));
   EXPECT_EQ(rel.FindPartitionedView({0}, 8), nullptr);
@@ -469,10 +469,50 @@ TEST(PartitionedViewTest, StaleAfterInsertAndCacheReplaces) {
   rel.Insert({999, 999});
   EXPECT_TRUE(cached->stale(rel));
 
-  // Re-caching the same (columns, partitions) replaces in place.
-  PartitionedView* rebuilt = rel.CachePartitionedView(BuildView(rel, {0}, 4));
+  // Re-caching the same (columns, partitions) replaces the slot; the
+  // old view survives through our shared_ptr until we drop it.
+  std::shared_ptr<PartitionedView> rebuilt =
+      rel.CachePartitionedView(BuildView(rel, {0}, 4));
   EXPECT_FALSE(rebuilt->stale(rel));
   EXPECT_EQ(rel.FindPartitionedView({0}, 4), rebuilt);
+  EXPECT_NE(rebuilt, cached);
+  EXPECT_TRUE(cached->stale(rel));  // replaced view still usable
+}
+
+TEST(PartitionedViewTest, CacheKeepsSameVersionIncumbent) {
+  Relation rel(2);
+  for (TermId i = 0; i < 50; ++i) rel.Insert({i, i + 1});
+  std::shared_ptr<PartitionedView> winner =
+      rel.CachePartitionedView(BuildView(rel, {0}, 4));
+  // A build-race loser attaching a same-version view gets the
+  // incumbent back; its own copy is discarded.
+  std::shared_ptr<PartitionedView> loser =
+      rel.CachePartitionedView(BuildView(rel, {0}, 4));
+  EXPECT_EQ(loser, winner);
+}
+
+TEST(PartitionedViewTest, LruEvictsLeastRecentlyUsedAtCapacity) {
+  Relation rel(3);
+  for (TermId i = 0; i < 200; ++i) rel.Insert({i % 5, i % 7, i});
+  // Fill the cache to capacity with distinct partition counts
+  // (powers of two are the only legal counts; 2^0..2^7 covers the
+  // current capacity of 8).
+  static_assert(Relation::kMaxPartitionedViews <= 8,
+                "fill loop needs a key per slot");
+  for (int k = 0; k < Relation::kMaxPartitionedViews; ++k) {
+    rel.CachePartitionedView(BuildView(rel, {0}, 1 << k));
+  }
+  // Touch the oldest entry so it becomes most recent; the LRU slot is
+  // now ({0}, 2).
+  ASSERT_NE(rel.FindPartitionedView({0}, 1), nullptr);
+  // One more distinct key evicts the least recently used entry — which
+  // after the touch above is ({0}, 2), not ({0}, 1).
+  std::shared_ptr<PartitionedView> held =
+      rel.CachePartitionedView(BuildView(rel, {1}, 4));
+  EXPECT_NE(held, nullptr);
+  EXPECT_EQ(rel.FindPartitionedView({0}, 2), nullptr);  // evicted
+  EXPECT_NE(rel.FindPartitionedView({0}, 1), nullptr);  // kept (touched)
+  EXPECT_NE(rel.FindPartitionedView({1}, 4), nullptr);  // newly cached
 }
 
 }  // namespace

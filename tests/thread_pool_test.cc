@@ -160,6 +160,71 @@ TEST(ThreadPoolTest, IdleWorkersStealHintedBacklog) {
   EXPECT_EQ(done.load(), 64);
 }
 
+/// Regression test for the nested-submission deadlock: a task running
+/// on a pool worker submits child tasks to the same pool and Wait()s
+/// on them. With every worker occupied by such a parent, no worker
+/// would ever be free to run a child — unless Wait() on a pool worker
+/// helps by running queued tasks inline (thread_pool.cc,
+/// WorkGroup::Wait). Saturates a 2-worker pool with parents at
+/// submission depth 2 and requires completion.
+TEST(ThreadPoolTest, NestedSubmissionAtSaturationCompletes) {
+  constexpr int kWorkers = 2;
+  ThreadPool pool(kWorkers);
+  std::atomic<int> children_run{0};
+  std::atomic<int> grandchildren_run{0};
+
+  ThreadPool::WorkGroup parents(&pool);
+  for (int i = 0; i < kWorkers; ++i) {  // one parent per worker
+    parents.Submit([&] {
+      // Depth 1: every worker is now inside a parent; children can
+      // only run if Wait() executes them inline.
+      ThreadPool::WorkGroup children(&pool);
+      for (int c = 0; c < 8; ++c) {
+        children.Submit([&] {
+          // Depth 2: a child itself fans out and waits.
+          ThreadPool::WorkGroup grand(&pool);
+          for (int g = 0; g < 4; ++g) {
+            grand.Submit([&] { grandchildren_run.fetch_add(1); });
+          }
+          grand.Wait();
+          children_run.fetch_add(1);
+        });
+      }
+      children.Wait();
+    });
+  }
+  parents.Wait();
+  EXPECT_EQ(children_run.load(), kWorkers * 8);
+  EXPECT_EQ(grandchildren_run.load(), kWorkers * 8 * 4);
+}
+
+/// The inline-execution path must also hold when the nested submitter
+/// mixes with unrelated outside work racing for the same workers.
+TEST(ThreadPoolTest, NestedSubmissionInterleavesWithForeignTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> nested_done{0};
+  std::atomic<int> foreign_done{0};
+
+  ThreadPool::WorkGroup outer(&pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.Submit([&] {
+      ThreadPool::WorkGroup inner(&pool);
+      for (int c = 0; c < 16; ++c) {
+        inner.Submit([&] { nested_done.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  ThreadPool::WorkGroup foreign(&pool);
+  for (int i = 0; i < 64; ++i) {
+    foreign.Submit([&] { foreign_done.fetch_add(1); });
+  }
+  outer.Wait();
+  foreign.Wait();
+  EXPECT_EQ(nested_done.load(), 4 * 16);
+  EXPECT_EQ(foreign_done.load(), 64);
+}
+
 /// The parallel HashJoin path must produce the same tuples in the same
 /// row order as the sequential path, regardless of thread count. Runs
 /// on an explicit 4-thread pool so the test is meaningful on any

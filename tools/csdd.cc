@@ -30,6 +30,14 @@
 //   --trace                    start with per-query tracing on
 //                              (`:trace last` prints the newest trace)
 //
+// Evaluation flags (docs/service.md §Parallel SCC evaluation):
+//   --parallel-scc=N           evaluate uncached queries SCC-by-SCC
+//                              with up to N concurrent strata (0 =
+//                              monolithic default, 1 = stratified
+//                              serial); applies to the REPL and every
+//                              server session, `:parallel N` overrides
+//                              per session
+//
 // Loads each program file (facts, rules; queries in files run
 // immediately), then reads from stdin:
 //
@@ -129,6 +137,8 @@ int Run(int argc, char** argv) {
     } else if (StartsWith(arg, "--max-line=")) {
       server_options.max_line_bytes =
           static_cast<size_t>(std::atoll(arg.c_str() + 11));
+    } else if (StartsWith(arg, "--parallel-scc=")) {
+      server_options.parallel_scc = std::atoi(arg.c_str() + 15);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: csdd [--serve PORT] [--net-mode=epoll|threaded]\n"
@@ -139,7 +149,7 @@ int Run(int argc, char** argv) {
           "            [--wal-sync-interval=MS] [--snapshot-every=N]\n"
           "            [--slow-query-ms=N] [--slow-query-dir=DIR] "
           "[--trace]\n"
-          "            [program.dl ...]\n%s",
+          "            [--parallel-scc=N] [program.dl ...]\n%s",
           Session::HelpText());
       return 0;
     } else {
@@ -197,7 +207,9 @@ int Run(int argc, char** argv) {
                 slow_query_dir.c_str());
     std::fflush(stdout);
   }
-  Session session(&service, {});
+  SessionOptions repl_options;
+  repl_options.parallel_scc = server_options.parallel_scc;
+  Session session(&service, repl_options);
   int load_errors = 0;
   for (const std::string& file : files) {
     int errors_before = session.error_count();
